@@ -1,0 +1,65 @@
+"""Ablation: fused-kernel block size.
+
+The block size of the fused EFTA kernel trades kernel-launch/loop overhead
+against on-chip working-set size and checksum-GEMM width.  This ablation
+sweeps the block size in the cost model (simulated A100 time) and on the
+functional NumPy kernel, and verifies that the protected output is invariant
+to the choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.attention.standard import standard_attention
+from repro.core.config import AttentionConfig
+from repro.core.efta_optimized import EFTAttentionOptimized
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+from common import emit
+
+BLOCK_SIZES = [32, 64, 128, 256]
+
+
+def test_block_size_sweep_simulated_cost():
+    rows = []
+    overheads = {}
+    for block in BLOCK_SIZES:
+        workload = AttentionWorkload.with_total_tokens(2048, heads=16, head_dim=64, block_size=block)
+        bd = AttentionCostModel(workload).efta_breakdown(unified_verification=True)
+        overheads[block] = bd.overhead
+        rows.append([block, round(bd.total_time * 1e3, 3), round(100 * bd.overhead, 1)])
+    emit(
+        "Ablation: EFTA block size (simulated, head=16 dim=64, seq 2048)",
+        format_table(["block size", "total ms", "FT overhead %"], rows),
+    )
+    # Larger blocks amortise the per-block checksum GEMM better.
+    assert overheads[256] < overheads[32]
+
+
+def test_block_size_does_not_change_protected_output():
+    rng = np.random.default_rng(3)
+    q = rng.standard_normal((96, 64)).astype(np.float32)
+    k = rng.standard_normal((96, 64)).astype(np.float32)
+    v = rng.standard_normal((96, 64)).astype(np.float32)
+    reference = standard_attention(q, k, v)
+    for block in (16, 32, 48, 96):
+        cfg = AttentionConfig(seq_len=96, head_dim=64, block_size=block)
+        out, report = EFTAttentionOptimized(cfg)(q, k, v)
+        assert report.clean
+        np.testing.assert_allclose(out, reference, rtol=5e-3, atol=5e-3)
+
+
+@pytest.mark.benchmark(group="ablation_block", warmup=False)
+@pytest.mark.parametrize("block_size", [32, 64, 128])
+def test_benchmark_functional_kernel_block_size(benchmark, small_attention_problem, block_size):
+    """Time the functional EFTA kernel at several block sizes."""
+    q, k, v = small_attention_problem
+    efta = EFTAttentionOptimized(
+        AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=block_size)
+    )
+    out, report = benchmark(efta, q, k, v)
+    assert report.clean
+    assert out.shape == q.shape

@@ -1,0 +1,83 @@
+"""Figure 10: breakdown of the fault-tolerance overhead inside EFTA.
+
+Applies the *traditional* protection mechanisms (element-checksum ABFT on the
+two GEMMs, DMR on the softmax) inside the fused end-to-end kernel and reports
+the per-component overhead, which is the motivation for the hybrid scheme of
+Sections 3.3-3.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.traditional_abft import protected_matmul
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
+
+#: Total traditional-protection overhead per sequence length, from Figure 10.
+PAPER_TOTAL_OVERHEAD_PERCENT = {
+    (16, 64): {512: 97, 1024: 44, 2048: 98, 4096: 114, 8192: 152, 16384: 67},
+    (32, 128): {512: 62, 1024: 64, 2048: 66, 4096: 72, 8192: 93, 16384: 47},
+}
+
+COMPONENTS = ["qk_protection", "softmax_protection", "pv_protection"]
+
+
+def _breakdown(heads: int, head_dim: int):
+    rows = []
+    for seq_len in PAPER_SEQ_LENGTHS:
+        workload = AttentionWorkload.with_total_tokens(seq_len, heads=heads, head_dim=head_dim)
+        bd = AttentionCostModel(workload).efta_breakdown(
+            qk_protection="traditional",
+            softmax_protection="dmr",
+            pv_protection="traditional",
+            unified_verification=True,
+        )
+        component_pct = [100 * bd.component_overhead(c) for c in COMPONENTS]
+        rows.append(
+            [seq_len]
+            + [round(p, 1) for p in component_pct]
+            + [round(100 * bd.overhead, 1), PAPER_TOTAL_OVERHEAD_PERCENT[(heads, head_dim)][seq_len]]
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "label,config", [("head=16, dim=64", MEDIUM_ATTENTION), ("head=32, dim=128", LARGE_ATTENTION)]
+)
+def test_figure10_breakdown(label, config):
+    rows = _breakdown(config["heads"], config["head_dim"])
+    table = format_table(
+        ["seq_len", "QK^T prot %", "softmax prot %", "PV prot %", "total %", "paper total %"],
+        rows,
+        title=f"Figure 10 ({label}): traditional protection overhead inside EFTA",
+    )
+    emit(f"Figure 10 [{label}]", table)
+
+    for row in rows:
+        qk, sm, pv, total = row[1], row[2], row[3], row[4]
+        # Softmax (DMR) dominates the traditional breakdown, GEMM protection is
+        # symmetric, and the total lands in the tens-of-percent regime that
+        # motivates the hybrid scheme.
+        assert sm > qk
+        assert abs(qk - pv) < 1.0
+        assert 30.0 < total < 200.0
+
+
+def test_medium_config_pays_more_than_large():
+    medium = _breakdown(**MEDIUM_ATTENTION)
+    large = _breakdown(**LARGE_ATTENTION)
+    assert np.mean([r[4] for r in medium]) > np.mean([r[4] for r in large])
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_benchmark_traditional_abft_gemm(benchmark, bench_rng):
+    """Time one traditionally protected GEMM (the decoupled building block)."""
+    a = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    b = bench_rng.standard_normal((64, 128)).astype(np.float32)
+    out, verdict = benchmark(protected_matmul, a, b)
+    assert verdict.clean
+    assert out.shape == (128, 128)

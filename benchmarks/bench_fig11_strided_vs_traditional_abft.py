@@ -1,0 +1,122 @@
+"""Figure 11: strided (tensor-checksum) ABFT vs traditional ABFT inside EFTA.
+
+Regenerates, per sequence length and attention configuration, the
+fault-tolerance overhead of protecting the two attention GEMMs with the
+Tensor-Core-aware strided ABFT versus the traditional element-checksum ABFT,
+plus a functional timing of the two verification kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.fp.float16 import fp16_matmul
+from repro.gemm.checksum import (
+    encode_column_checksums,
+    encode_strided_row_checksums,
+    verify_column_checksums,
+    verify_strided_checksums,
+)
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
+
+#: Per-sequence-length ABFT overheads read off Figure 11 (percent of attention time).
+PAPER_OVERHEAD_PERCENT = {
+    (16, 64): {
+        "traditional": {512: 27, 1024: 20, 2048: 23, 4096: 38, 8192: 62, 16384: 29},
+        "strided": {512: 12, 1024: 5, 2048: 6, 4096: 10, 8192: 26, 16384: 12},
+    },
+    (32, 128): {
+        "traditional": {512: 32, 1024: 33, 2048: 33, 4096: 36, 8192: 67, 16384: 22},
+        "strided": {512: 12, 1024: 12, 2048: 12, 4096: 13, 8192: 10, 16384: 4},
+    },
+}
+
+
+def _gemm_protection_overhead(heads: int, head_dim: int, scheme: str):
+    overheads = {}
+    for seq_len in PAPER_SEQ_LENGTHS:
+        workload = AttentionWorkload.with_total_tokens(seq_len, heads=heads, head_dim=head_dim)
+        bd = AttentionCostModel(workload).efta_breakdown(
+            qk_protection=scheme,
+            softmax_protection="none",
+            pv_protection=scheme,
+            unified_verification=True,
+        )
+        overheads[seq_len] = 100 * bd.overhead
+    return overheads
+
+
+@pytest.mark.parametrize(
+    "label,config", [("head=16, dim=64", MEDIUM_ATTENTION), ("head=32, dim=128", LARGE_ATTENTION)]
+)
+def test_figure11_overhead_series(label, config):
+    key = (config["heads"], config["head_dim"])
+    strided = _gemm_protection_overhead(scheme="strided", **config)
+    traditional = _gemm_protection_overhead(scheme="traditional", **config)
+    rows = [
+        [
+            seq_len,
+            round(traditional[seq_len], 1),
+            PAPER_OVERHEAD_PERCENT[key]["traditional"][seq_len],
+            round(strided[seq_len], 1),
+            PAPER_OVERHEAD_PERCENT[key]["strided"][seq_len],
+        ]
+        for seq_len in PAPER_SEQ_LENGTHS
+    ]
+    table = format_table(
+        ["seq_len", "traditional %", "paper trad %", "strided %", "paper strided %"],
+        rows,
+        title=f"Figure 11 ({label}): mixed-precision GEMM protection overhead",
+    )
+    emit(f"Figure 11 [{label}]", table)
+
+    for seq_len in PAPER_SEQ_LENGTHS:
+        # Strided ABFT wins at every point, typically by ~2-4x.
+        assert strided[seq_len] < traditional[seq_len]
+    assert np.mean(list(strided.values())) < 0.5 * np.mean(list(traditional.values()))
+
+
+def test_strided_average_overhead_band():
+    # Paper: 11.8% (medium) / 10.5% (large) average strided ABFT overhead.
+    medium = np.mean(list(_gemm_protection_overhead(scheme="strided", **MEDIUM_ATTENTION).values()))
+    large = np.mean(list(_gemm_protection_overhead(scheme="strided", **LARGE_ATTENTION).values()))
+    assert 4.0 < medium < 20.0
+    assert 4.0 < large < 20.0
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_benchmark_strided_checksum_verify(benchmark, bench_rng):
+    """Time the strided encode + verify path on one score block."""
+    q = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    k = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    scores = fp16_matmul(q, k.T)
+
+    def run():
+        kc1, kc2 = encode_strided_row_checksums(k.T, 8)
+        return verify_strided_checksums(
+            scores.copy(), fp16_matmul(q, kc1), fp16_matmul(q, kc2), stride=8, rtol=0.02
+        )
+
+    verdict = benchmark(run)
+    assert verdict.clean
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_benchmark_traditional_checksum_verify(benchmark, bench_rng):
+    """Time the traditional (full-width) encode + verify path on the same block."""
+    q = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    k = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    scores = fp16_matmul(q, k.T)
+
+    def run():
+        ca1, ca2 = encode_column_checksums(q)
+        return verify_column_checksums(
+            scores.copy(), fp16_matmul(ca1[None, :], k.T)[0], fp16_matmul(ca2[None, :], k.T)[0], rtol=0.02
+        )
+
+    verdict = benchmark(run)
+    assert verdict.clean

@@ -1,0 +1,94 @@
+"""Figure 12: error coverage and detection/false-alarm behaviour of strided ABFT.
+
+Left plot: fraction of fault events corrected by the 8-wide tensor checksum vs
+the traditional single-column checksum, as a function of the computational bit
+error rate.  Right plot: fault-detection rate and false-alarm rate of the
+strided checksum as a function of the relative error threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.fault.campaign import abft_detection_sweep, abft_error_coverage
+
+from common import emit
+
+#: Error coverage read off Figure 12 (left).
+PAPER_COVERAGE = {
+    "tensor": {1e-8: 0.96, 5e-8: 0.94, 1e-7: 0.925},
+    "element": {1e-8: 0.62, 5e-8: 0.55, 1e-7: 0.48},
+}
+
+BIT_ERROR_RATES = [1e-8, 5e-8, 1e-7]
+THRESHOLDS = [0.01, 0.1, 0.2, 0.3, 0.4, 0.48, 0.6, 0.8, 1.0]
+N_TRIALS = 40
+
+
+@pytest.fixture(scope="module")
+def coverage_results():
+    return {
+        scheme: {
+            ber: abft_error_coverage(ber, n_trials=N_TRIALS, scheme=scheme, seed=7)
+            for ber in BIT_ERROR_RATES
+        }
+        for scheme in ("tensor", "element")
+    }
+
+
+def test_figure12_left_error_coverage(coverage_results):
+    rows = []
+    for ber in BIT_ERROR_RATES:
+        rows.append(
+            [
+                f"{ber:.0e}",
+                round(coverage_results["tensor"][ber].coverage, 2),
+                PAPER_COVERAGE["tensor"][ber],
+                round(coverage_results["element"][ber].coverage, 2),
+                PAPER_COVERAGE["element"][ber],
+            ]
+        )
+    table = format_table(
+        ["BER", "tensor coverage", "paper", "element coverage", "paper"],
+        rows,
+        title="Figure 12 (left): ABFT error coverage vs computational bit error rate",
+    )
+    emit("Figure 12 (left)", table)
+
+    for ber in BIT_ERROR_RATES:
+        tensor = coverage_results["tensor"][ber].coverage
+        element = coverage_results["element"][ber].coverage
+        assert tensor > element + 0.2, "tensor checksum must dominate"
+        assert tensor > 0.55
+        assert element < 0.6
+
+
+def test_figure12_right_detection_vs_threshold():
+    points = abft_detection_sweep(THRESHOLDS, n_trials=60, seed=11)
+    emit(
+        "Figure 12 (right)",
+        "\n".join(
+            [
+                format_series("fault detection rate", THRESHOLDS, [p.detection_rate for p in points]),
+                format_series("false alarm rate", THRESHOLDS, [p.false_alarm_rate for p in points]),
+            ]
+        ),
+    )
+    detection = {p.threshold: p.detection_rate for p in points}
+    false_alarm = {p.threshold: p.false_alarm_rate for p in points}
+    # Both curves decrease with the threshold; tiny thresholds alarm on FP16
+    # round-off, and around the paper's operating point (~0.5) the false-alarm
+    # rate has collapsed while detection remains substantial.
+    assert false_alarm[0.01] > 0.9
+    assert false_alarm[0.48] < 0.2
+    assert detection[0.01] == 1.0
+    assert detection[0.48] > 0.5
+    assert detection[1.0] <= detection[0.1]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_benchmark_coverage_trial(benchmark):
+    """Time one tensor-checksum coverage campaign batch (5 trials)."""
+    result = benchmark(abft_error_coverage, 1e-7, 5, "tensor", 64, 64, 64, 8, 3)
+    assert 0.0 <= result.coverage <= 1.0

@@ -1,0 +1,114 @@
+"""Figure 13: DMR vs selective neuron value restriction for softmax protection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.attention.softmax import stable_softmax
+from repro.core.dmr import dmr_row_softmax
+from repro.core.snvr import exp_checksum_propagate, verify_exp_products
+from repro.core.strided_abft import StridedABFT
+from repro.core.config import AttentionConfig
+from repro.fp.float16 import fp16_matmul
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
+
+#: Softmax-protection overheads read off Figure 13 (percent of attention time).
+PAPER_OVERHEAD_PERCENT = {
+    (16, 64): {
+        "dmr": {512: 70, 1024: 25, 2048: 76, 4096: 76, 8192: 90, 16384: 38},
+        "snvr": {512: 19, 1024: 5, 2048: 9, 4096: 19, 8192: 24, 16384: 10},
+    },
+    (32, 128): {
+        "dmr": {512: 30, 1024: 32, 2048: 34, 4096: 36, 8192: 26, 16384: 26},
+        "snvr": {512: 14, 1024: 14, 2048: 14, 4096: 16, 8192: 16, 16384: 8},
+    },
+}
+
+
+def _softmax_protection_overhead(heads: int, head_dim: int, scheme: str):
+    overheads = {}
+    for seq_len in PAPER_SEQ_LENGTHS:
+        workload = AttentionWorkload.with_total_tokens(seq_len, heads=heads, head_dim=head_dim)
+        bd = AttentionCostModel(workload).efta_breakdown(
+            qk_protection="none",
+            softmax_protection=scheme,
+            pv_protection="none",
+            unified_verification=True,
+        )
+        overheads[seq_len] = 100 * bd.overhead
+    return overheads
+
+
+@pytest.mark.parametrize(
+    "label,config", [("head=16, dim=64", MEDIUM_ATTENTION), ("head=32, dim=128", LARGE_ATTENTION)]
+)
+def test_figure13_overhead_series(label, config):
+    key = (config["heads"], config["head_dim"])
+    dmr = _softmax_protection_overhead(scheme="dmr", **config)
+    snvr = _softmax_protection_overhead(scheme="snvr", **config)
+    rows = [
+        [
+            seq_len,
+            round(dmr[seq_len], 1),
+            PAPER_OVERHEAD_PERCENT[key]["dmr"][seq_len],
+            round(snvr[seq_len], 1),
+            PAPER_OVERHEAD_PERCENT[key]["snvr"][seq_len],
+        ]
+        for seq_len in PAPER_SEQ_LENGTHS
+    ]
+    table = format_table(
+        ["seq_len", "DMR %", "paper DMR %", "SNVR %", "paper SNVR %"],
+        rows,
+        title=f"Figure 13 ({label}): softmax protection overhead",
+    )
+    emit(f"Figure 13 [{label}]", table)
+
+    for seq_len in PAPER_SEQ_LENGTHS:
+        assert snvr[seq_len] < dmr[seq_len]
+    # Paper: SNVR roughly halves (or better) the softmax protection overhead.
+    assert np.mean(list(snvr.values())) < 0.6 * np.mean(list(dmr.values()))
+
+
+def test_snvr_average_band():
+    medium = np.mean(list(_softmax_protection_overhead(scheme="snvr", **MEDIUM_ATTENTION).values()))
+    large = np.mean(list(_softmax_protection_overhead(scheme="snvr", **LARGE_ATTENTION).values()))
+    # Paper averages: 14.3% and 13.6%.
+    assert 2.0 < medium < 25.0
+    assert 2.0 < large < 25.0
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_benchmark_dmr_softmax(benchmark, bench_rng):
+    """Time the DMR-protected row softmax (duplicate execution + compare)."""
+    scores = bench_rng.standard_normal((128, 128)).astype(np.float32)
+    probs, stats = benchmark(dmr_row_softmax, scores)
+    assert stats["detected"] == 0
+    np.testing.assert_allclose(probs, stable_softmax(scores), rtol=1e-4)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_benchmark_snvr_softmax(benchmark, bench_rng):
+    """Time the SNVR-protected block softmax (checksum reuse + range check)."""
+    q = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    k = bench_rng.standard_normal((128, 64)).astype(np.float32)
+    cfg = AttentionConfig(seq_len=128, head_dim=64, block_size=128)
+    abft = StridedABFT(cfg)
+
+    def run():
+        chk = abft.score_block_checksums(q, k, cfg.effective_scale)
+        scores = fp16_matmul(q, k.T) * np.float32(cfg.effective_scale)
+        row_max = scores.max(axis=1)
+        probs = np.exp(scores - row_max[:, None]).astype(np.float32)
+        p_check = exp_checksum_propagate(chk.check1, row_max, chk.class_counts)
+        bad = verify_exp_products(probs, p_check, cfg.checksum_stride, rtol=cfg.exp_product_rtol)
+        rowsum = probs.sum(axis=1)
+        in_range = np.all((rowsum >= 1.0 - 1e-3) & (rowsum <= 128.0))
+        return bad, in_range
+
+    bad, in_range = benchmark(run)
+    assert not bad.any()
+    assert in_range

@@ -1,0 +1,70 @@
+"""Figure 14: SNVR detection/false-alarm trade-off and post-restriction error distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.fault.campaign import restriction_error_distribution, snvr_detection_sweep
+
+from common import emit
+
+THRESHOLDS = [1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1]
+
+
+def test_figure14_left_detection_vs_threshold():
+    points = snvr_detection_sweep(THRESHOLDS, n_trials=60, seed=21)
+    emit(
+        "Figure 14 (left)",
+        "\n".join(
+            [
+                format_series("fault detection rate", THRESHOLDS, [p.detection_rate for p in points]),
+                format_series("false alarm rate", THRESHOLDS, [p.false_alarm_rate for p in points]),
+                "note: the paper's optimum sits at 7e-6 because its checksum GEMM runs on",
+                "Tensor Cores; the FP16-emulated checksum here has a higher round-off floor,",
+                "so the crossover moves to ~5e-3 while the curve shapes are unchanged.",
+            ]
+        ),
+    )
+    detection = {p.threshold: p.detection_rate for p in points}
+    false_alarm = {p.threshold: p.false_alarm_rate for p in points}
+    # Paper operating point: ~97% detection with ~6% false alarms.
+    assert false_alarm[1e-4] > 0.9
+    assert false_alarm[5e-3] < 0.2
+    assert detection[5e-3] > 0.8
+    rates = [p.detection_rate for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+def test_figure14_right_error_distribution():
+    selective = restriction_error_distribution("selective", n_trials=120, seed=22)
+    traditional = restriction_error_distribution("traditional", n_trials=120, seed=22)
+    edges, sel_hist = selective.error_distribution(bins=10, upper=0.2)
+    _, trad_hist = traditional.error_distribution(bins=10, upper=0.2)
+    centers = [f"{0.5 * (edges[i] + edges[i + 1]):.2f}" for i in range(len(sel_hist))]
+    rows = [
+        [centers[i], round(float(sel_hist[i]), 3), round(float(trad_hist[i]), 3)]
+        for i in range(len(sel_hist))
+    ]
+    table = format_table(
+        ["relative error bin", "selective restriction", "traditional restriction"],
+        rows,
+        title="Figure 14 (right): error distribution after restriction",
+    )
+    emit("Figure 14 (right)", table)
+
+    # Reproduction targets: SNVR concentrates the residual error near zero;
+    # the traditional clamp leaves a heavier tail and a larger mean error.
+    sel_small = np.mean([o.output_rel_error < 0.02 for o in selective.outcomes])
+    trad_small = np.mean([o.output_rel_error < 0.02 for o in traditional.outcomes])
+    assert selective.mean_output_error < traditional.mean_output_error
+    assert sel_small >= trad_small
+    assert sel_hist[0] >= trad_hist[0]
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_benchmark_restriction_trial(benchmark):
+    """Time a small selective-restriction campaign batch (10 trials)."""
+    result = benchmark(restriction_error_distribution, "selective", 10, 128, 32, 16, 4.0, 5)
+    assert result.n_trials == 10

@@ -1,0 +1,96 @@
+"""Table 2: EFTA vs optimized EFTA (unified verification) for head=32, dim=128."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.config import AttentionConfig
+from repro.core.efta_optimized import EFTAttentionOptimized
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+from common import LARGE_ATTENTION, PAPER_SEQ_LENGTHS, emit
+
+#: Table 2 of the paper: (EFTA ms, EFTA overhead %, EFTA-opt ms, EFTA-opt overhead %).
+PAPER_TABLE2 = {
+    512: (1.498, 24.9, 1.199, 13.4),
+    1024: (2.810, 24.7, 2.253, 13.5),
+    2048: (5.441, 24.6, 4.364, 13.4),
+    4096: (10.703, 26.1, 8.483, 14.8),
+    8192: (18.912, 27.0, 14.886, 15.4),
+    16384: (32.728, 9.1, 29.995, 4.5),
+}
+
+HEADS = LARGE_ATTENTION["heads"]
+HEAD_DIM = LARGE_ATTENTION["head_dim"]
+
+
+def _rows():
+    rows = []
+    measured = {}
+    for seq_len in PAPER_SEQ_LENGTHS:
+        workload = AttentionWorkload.with_total_tokens(seq_len, heads=HEADS, head_dim=HEAD_DIM)
+        model = AttentionCostModel(workload)
+        unopt = model.efta_breakdown(unified_verification=False)
+        opt = model.efta_breakdown(unified_verification=True)
+        paper = PAPER_TABLE2[seq_len]
+        measured[seq_len] = (unopt, opt)
+        rows.append(
+            [
+                seq_len,
+                round(unopt.total_time * 1e3, 3),
+                paper[0],
+                round(100 * unopt.overhead, 1),
+                paper[1],
+                round(opt.total_time * 1e3, 3),
+                paper[2],
+                round(100 * opt.overhead, 1),
+                paper[3],
+            ]
+        )
+    return rows, measured
+
+
+def test_table2_rows():
+    rows, measured = _rows()
+    table = format_table(
+        [
+            "Length", "EFTA (ms)", "paper", "Overhead %", "paper",
+            "EFTA-o (ms)", "paper", "Overhead %", "paper",
+        ],
+        rows,
+        title="Table 2: EFTA vs optimized EFTA (head=32, dim=128)",
+    )
+    emit("Table 2", table)
+
+    for seq_len, (unopt, opt) in measured.items():
+        assert opt.total_time < unopt.total_time
+        paper_ms = PAPER_TABLE2[seq_len][2] * 1e-3
+        assert paper_ms / 3 < opt.total_time < paper_ms * 3
+
+    opt_overheads = [m[1].overhead for m in measured.values()]
+    # Paper average: 12.5% for the optimised variant at the large configuration.
+    assert 0.05 < float(np.mean(opt_overheads)) < 0.22
+
+
+def test_table2_large_config_has_lower_overhead_than_table1():
+    _, large = _rows()
+    medium_overheads = []
+    for seq_len in PAPER_SEQ_LENGTHS:
+        workload = AttentionWorkload.with_total_tokens(seq_len, heads=16, head_dim=64)
+        medium_overheads.append(AttentionCostModel(workload).efta_breakdown(unified_verification=True).overhead)
+    large_overheads = [m[1].overhead for m in large.values()]
+    assert float(np.mean(large_overheads)) < float(np.mean(medium_overheads))
+
+
+@pytest.mark.benchmark(group="table2")
+def test_benchmark_optimized_efta_large_head_dim(benchmark, bench_rng):
+    """Time the optimized EFTA kernel at the large-model head dimension (128)."""
+    q = bench_rng.standard_normal((128, 128)).astype(np.float32)
+    k = bench_rng.standard_normal((128, 128)).astype(np.float32)
+    v = bench_rng.standard_normal((128, 128)).astype(np.float32)
+    efta = EFTAttentionOptimized(AttentionConfig(seq_len=128, head_dim=128, block_size=64))
+    out, report = benchmark(efta, q, k, v)
+    assert report.clean
+    assert out.shape == q.shape

@@ -1,0 +1,16 @@
+"""Shared constants and helpers for the benchmark harness (non-fixture part)."""
+
+from __future__ import annotations
+
+#: Sequence lengths of the paper's attention sweeps (total tokens fixed at 16K).
+PAPER_SEQ_LENGTHS = [512, 1024, 2048, 4096, 8192, 16384]
+
+#: The two attention configurations evaluated in Section 4.1.
+MEDIUM_ATTENTION = dict(heads=16, head_dim=64)   # hidden dim 1024
+LARGE_ATTENTION = dict(heads=32, head_dim=128)   # hidden dim 4096
+
+
+def emit(title: str, body: str) -> None:
+    """Print one experiment block (captured by ``pytest -s`` / bench logs)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,29 @@
+"""Benchmark fixtures.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section 4): it prints the measured (simulated) rows next to the
+values the paper reports, and additionally uses ``pytest-benchmark`` to time a
+representative functional kernel of this reproduction so that
+``pytest benchmarks/ --benchmark-only`` exercises the real NumPy code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def bench_rng():
+    """Deterministic generator for benchmark inputs."""
+    return np.random.default_rng(2025)
+
+
+@pytest.fixture
+def small_attention_problem(bench_rng):
+    """A functional attention problem small enough to time under pytest-benchmark."""
+    seq_len, head_dim = 128, 64
+    q = bench_rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    k = bench_rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    v = bench_rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    return q, k, v

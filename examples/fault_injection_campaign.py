@@ -1,0 +1,80 @@
+"""Fault-injection campaign: measure detection and correction across pipeline stages.
+
+Sweeps single-event upsets over every protected stage of the fused attention
+kernel (GEMM I, exponentiation, GEMM II, rescale, normalisation, reduce-sum),
+over a range of bit positions, and reports per-stage detection / correction
+rates plus the residual output error -- a miniature version of the resilience
+study behind Figures 12 and 14.
+
+Run with:  python examples/fault_injection_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AttentionConfig, EFTAttentionOptimized, FaultInjector, FaultSite
+from repro.attention import standard_attention
+
+SITES = [
+    FaultSite.GEMM_QK,
+    FaultSite.SUBTRACT_EXP,
+    FaultSite.REDUCE_SUM,
+    FaultSite.GEMM_PV,
+    FaultSite.RESCALE,
+    FaultSite.NORMALIZE,
+]
+
+#: Bit positions swept per representation (high mantissa through sign).
+FP16_BITS = [8, 10, 12, 13, 14, 15]
+FP32_BITS = [20, 23, 26, 28, 30, 31]
+
+
+def main(trials_per_point: int = 5) -> None:
+    rng = np.random.default_rng(1)
+    seq_len, head_dim = 192, 64
+    q = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    k = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    v = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    reference = standard_attention(q, k, v)
+
+    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=64)
+    attention = EFTAttentionOptimized(config)
+
+    print(f"{'site':<14} {'trials':>6} {'detected':>9} {'repaired':>9} {'clean out':>10} {'max rel err':>12}")
+    print("-" * 66)
+    for site in SITES:
+        fp16_site = site in (FaultSite.GEMM_QK, FaultSite.SUBTRACT_EXP)
+        bits = FP16_BITS if fp16_site else FP32_BITS
+        dtype = "fp16" if fp16_site else "fp32"
+        trials = detected = repaired = clean_out = 0
+        worst = 0.0
+        # The normalisation runs once per row block (not per inner iteration),
+        # so it is matched without a block constraint.
+        block = None if site == FaultSite.NORMALIZE else (0, 1)
+        for bit in bits:
+            for seed in range(trials_per_point):
+                injector = FaultInjector.single_bit_flip(
+                    site, seed=seed, bit=bit, dtype=dtype, block=block
+                )
+                output, report = attention(q, k, v, injector=injector)
+                trials += 1
+                detected += int(report.detected_any)
+                repaired += int(report.total_corrections > 0)
+                rel_err = float(np.abs(output - reference).max() / np.abs(reference).max())
+                worst = max(worst, rel_err)
+                clean_out += int(rel_err < 0.02)
+        print(
+            f"{site.value:<14} {trials:>6} {detected / trials:>8.0%} {repaired / trials:>8.0%} "
+            f"{clean_out / trials:>9.0%} {worst:>12.3e}"
+        )
+
+    print(
+        "\nNote: reduce-max faults are intentionally left to cancel (SNVR case 1); "
+        "reduce-sum faults are range-restricted with an approximate restoration, so their "
+        "residual error is bounded but not zero, exactly as in the paper's design."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: protected attention in a dozen lines.
+
+Runs the optimized end-to-end fault tolerant attention (EFTA) on a random
+multi-head problem, verifies it against standard attention, injects a single
+bit flip into the first attention GEMM, and shows that the kernel detects and
+corrects it transparently.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AttentionConfig, EFTAttentionOptimized, FaultInjector, FaultSite
+from repro.attention import standard_attention
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    batch, heads, seq_len, head_dim = 2, 4, 256, 64
+    q = rng.standard_normal((batch, heads, seq_len, head_dim)).astype(np.float32)
+    k = rng.standard_normal((batch, heads, seq_len, head_dim)).astype(np.float32)
+    v = rng.standard_normal((batch, heads, seq_len, head_dim)).astype(np.float32)
+
+    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=128)
+    attention = EFTAttentionOptimized(config)
+
+    # 1. Fault-free run: identical (up to FP16 round-off) to standard attention.
+    output, report = attention(q, k, v)
+    reference = standard_attention(q, k, v)
+    print(f"max |EFTA - standard attention| = {np.abs(output - reference).max():.2e}")
+    print(f"fault-free report: {report.summary()}")
+
+    # 2. Inject one single-event upset (an exponent-bit flip) into GEMM I.
+    injector = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=7, bit=13, dtype="fp16")
+    faulty_output, faulty_report = attention(q, k, v, injector=injector)
+    record = faulty_report.injected[0]
+    print(
+        f"\ninjected fault: site={record.site}, element={record.index}, bit={record.bit}, "
+        f"{record.original:.4f} -> {record.corrupted:.4f}"
+    )
+    print(f"fault report:   {faulty_report.summary()}")
+    print(f"max |protected faulty run - reference| = {np.abs(faulty_output - reference).max():.2e}")
+
+    # 3. Simulated A100 cost of this workload (what the paper's tables report).
+    breakdown = attention.cost_breakdown(batch=batch, heads=heads)
+    print(
+        f"\nsimulated A100 time: {breakdown.total_time * 1e3:.3f} ms "
+        f"(fault-tolerance overhead {100 * breakdown.overhead:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

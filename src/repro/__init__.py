@@ -1,0 +1,42 @@
+"""FT-Transformer reproduction: end-to-end fault tolerant attention (EFTA).
+
+Top-level convenience re-exports.  The primary entry points are:
+
+* :class:`repro.core.EFTAttention` / :class:`repro.core.EFTAttentionOptimized`
+  -- the paper's contribution: single-kernel attention with hybrid strided
+  ABFT + SNVR protection.
+* :class:`repro.core.DecoupledFTAttention` -- the operation-level baseline.
+* :class:`repro.fault.FaultInjector` -- single-event-upset injection into any
+  pipeline stage.
+* :class:`repro.transformer.TransformerModel` -- the Transformer inference
+  substrate (GPT2 / BERT / T5 configurations) built on the protected kernels.
+* :class:`repro.hardware.AttentionCostModel` -- the A100 roofline model used
+  to regenerate the paper's timing figures and tables.
+"""
+
+from repro.core import (
+    AttentionConfig,
+    DecoupledFTAttention,
+    EFTAttention,
+    EFTAttentionOptimized,
+    FaultToleranceReport,
+)
+from repro.fault import FaultInjector, FaultSite, FaultSpec
+from repro.hardware import A100_PCIE_40GB, AttentionCostModel, AttentionWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttentionConfig",
+    "DecoupledFTAttention",
+    "EFTAttention",
+    "EFTAttentionOptimized",
+    "FaultToleranceReport",
+    "FaultInjector",
+    "FaultSite",
+    "FaultSpec",
+    "A100_PCIE_40GB",
+    "AttentionCostModel",
+    "AttentionWorkload",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Analysis helpers: overhead/speedup arithmetic and table formatting for the benches."""
+
+from repro.analysis.overhead import geometric_mean, overhead_percent, scaled_series, speedup
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "geometric_mean",
+    "overhead_percent",
+    "scaled_series",
+    "speedup",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,44 @@
+"""Small numeric helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def overhead_percent(protected_time: float, base_time: float) -> float:
+    """Fault-tolerance overhead in percent: ``(protected - base) / base * 100``."""
+    if base_time <= 0:
+        raise ValueError("base_time must be positive")
+    return (protected_time - base_time) / base_time * 100.0
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """How many times faster ``improved_time`` is than ``baseline_time``."""
+    if improved_time <= 0:
+        raise ValueError("improved_time must be positive")
+    return baseline_time / improved_time
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def scaled_series(times: list[float], reference: float | None = None) -> list[float]:
+    """Normalise a series of times by a reference (its first element by default).
+
+    The paper's Figure 9 reports *scaled* execution times, i.e. every bar is
+    divided by the unprotected end-to-end attention time of that sequence
+    length.
+    """
+    if not times:
+        return []
+    ref = reference if reference is not None else times[0]
+    if ref <= 0:
+        raise ValueError("reference time must be positive")
+    return [t / ref for t in times]

@@ -1,0 +1,72 @@
+"""Flash-attention style tiled attention (Equations 1-7), unprotected.
+
+This is the single-kernel, O(n) memory formulation that EFTA extends with
+fault tolerance.  The outer loop walks blocks of query rows; the inner loop
+streams key/value blocks, folding each into the online softmax state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.softmax import OnlineSoftmaxState
+from repro.attention.tiling import partition_blocks
+from repro.fp.float16 import fp16_matmul
+
+
+def _flash_single(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float,
+    block_size: int,
+    mixed_precision: bool,
+) -> np.ndarray:
+    seq_len, head_dim = q.shape
+    out = np.empty((seq_len, head_dim), dtype=np.float32)
+    for row_blk in partition_blocks(seq_len, block_size):
+        q_i = q[row_blk]
+        state = OnlineSoftmaxState.initial(q_i.shape[0], head_dim)
+        for col_blk in partition_blocks(k.shape[0], block_size):
+            k_j = k[col_blk]
+            v_j = v[col_blk]
+            if mixed_precision:
+                scores = fp16_matmul(q_i, k_j.T) * np.float32(scale)
+            else:
+                scores = (q_i @ k_j.T).astype(np.float32) * np.float32(scale)
+            state.update(scores, v_j)
+        out[row_blk] = state.finalize()
+    return out
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+    block_size: int = 128,
+    mixed_precision: bool = False,
+) -> np.ndarray:
+    """Tiled exact attention with O(seq_len) extra memory.
+
+    Accepts the same ``(..., seq_len, head_dim)`` layout as
+    :func:`repro.attention.standard.standard_attention`; leading dimensions
+    are processed independently (one simulated CTA per (batch, head, row
+    block), matching Figure 4).
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    if q.shape[:-2] != k.shape[:-2] or q.shape[:-2] != v.shape[:-2]:
+        raise ValueError("q, k, v must share leading (batch/head) dimensions")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+
+    lead = q.shape[:-2]
+    q2 = q.reshape((-1,) + q.shape[-2:])
+    k2 = k.reshape((-1,) + k.shape[-2:])
+    v2 = v.reshape((-1,) + v.shape[-2:])
+    out = np.empty_like(q2)
+    for g in range(q2.shape[0]):
+        out[g] = _flash_single(q2[g], k2[g], v2[g], scale, block_size, mixed_precision)
+    return out.reshape(lead + q.shape[-2:])

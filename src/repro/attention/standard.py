@@ -1,0 +1,53 @@
+"""Standard O(n^2) scaled dot-product attention (the correctness oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.softmax import stable_softmax
+from repro.fp.float16 import fp16_matmul
+
+
+def standard_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float | None = None,
+    mixed_precision: bool = False,
+) -> np.ndarray:
+    """Compute ``softmax(Q K^T * scale) V`` directly.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(..., seq_len, head_dim)`` (any number of leading
+        batch/head dimensions).
+    scale:
+        Score scale; defaults to ``1 / sqrt(head_dim)``.
+    mixed_precision:
+        Run the two GEMMs with FP16 operands / FP32 accumulation like the
+        Tensor-Core kernels (used when comparing against EFTA bit-for-bit in
+        regime).
+
+    Returns
+    -------
+    np.ndarray
+        Attention output of shape ``(..., seq_len, head_dim)``, float32.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    if q.shape[-1] != k.shape[-1]:
+        raise ValueError("q and k must share the head dimension")
+    if k.shape[-2] != v.shape[-2]:
+        raise ValueError("k and v must share the sequence dimension")
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    kt = np.swapaxes(k, -1, -2)
+    if mixed_precision:
+        scores = fp16_matmul(q, kt) * np.float32(scale)
+        probs = stable_softmax(scores, axis=-1)
+        return fp16_matmul(probs, v)
+    scores = np.matmul(q, kt) * np.float32(scale)
+    probs = stable_softmax(scores, axis=-1)
+    return np.matmul(probs, v).astype(np.float32)

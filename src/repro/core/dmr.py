@@ -1,0 +1,66 @@
+"""Dual modular redundancy (DMR) for the row softmax (baseline protection).
+
+The decoupled framework of Section 3.1 protects the nonlinear softmax kernel
+by executing it twice and accepting the result only when the two executions
+agree within a tolerance (Equations 10-11); on disagreement the computation is
+repeated.  Because the duplicate cannot be fused into the attention pipeline
+it roughly doubles the softmax cost, which is what the SNVR comparison in
+Figure 13 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.softmax import stable_softmax
+from repro.fault.injector import FaultInjector
+from repro.fault.models import FaultSite
+
+
+def dmr_row_softmax(
+    scores: np.ndarray,
+    injector: FaultInjector | None = None,
+    tolerance: float = 1e-3,
+    max_rounds: int = 3,
+) -> tuple[np.ndarray, dict[str, int]]:
+    """Row softmax with dual modular redundancy.
+
+    The first execution is exposed to the fault injector (site
+    :data:`FaultSite.SOFTMAX`); redundant executions are assumed clean under
+    the SEU model.  If the two executions disagree anywhere beyond
+    ``tolerance`` (relative), the faulty result is discarded and the softmax
+    recomputed, up to ``max_rounds`` times.
+
+    Returns
+    -------
+    (probs, stats):
+        The accepted probability matrix and a stats dict with keys
+        ``rounds`` (extra executions beyond the mandatory duplicate),
+        ``detected`` (1 if any disagreement was seen) and ``rowsum_violations``
+        (rows whose sum deviates from 1 beyond the tolerance, Equation 11).
+    """
+    scores = np.asarray(scores, dtype=np.float32)
+    primary = stable_softmax(scores, axis=-1)
+    if injector is not None:
+        injector.corrupt(FaultSite.SOFTMAX, primary)
+
+    stats = {"rounds": 0, "detected": 0, "rowsum_violations": 0}
+    reference = stable_softmax(scores, axis=-1)
+    current = primary
+    for _ in range(max_rounds):
+        diff = np.abs(current - reference)
+        if np.all(diff <= tolerance * np.maximum(np.abs(reference), 1e-6)):
+            break
+        stats["detected"] = 1
+        stats["rounds"] += 1
+        current = reference
+        reference = stable_softmax(scores, axis=-1)
+
+    rowsums = current.sum(axis=-1)
+    violations = int(np.count_nonzero(np.abs(rowsums - 1.0) > tolerance))
+    if violations:
+        stats["detected"] = 1
+        stats["rowsum_violations"] = violations
+        stats["rounds"] += 1
+        current = stable_softmax(scores, axis=-1)
+    return current, stats

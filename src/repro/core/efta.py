@@ -1,0 +1,304 @@
+"""End-to-end fault tolerant attention (EFTA), Algorithm 1 of the paper.
+
+The whole attention computation -- both GEMMs, the online softmax, the
+rescaling and the final normalisation -- runs as one fused pass over
+key/value blocks, with the hybrid protection scheme threaded through it:
+
+* GEMM I, the max subtraction and the exponentiation are protected by the
+  strided tensor checksum, reused across the three steps (checksum reuse);
+* the reduce-max needs no protection (its error cancels, SNVR case 1);
+* the reduce-sum is range-restricted (SNVR case 3);
+* GEMM II, the rescale and the normalisation are protected by the output
+  tensor checksums accumulated alongside the output.
+
+This class implements the *per-iteration verification* variant ("EFTA" in
+Tables 1 and 2).  :class:`repro.core.efta_optimized.EFTAttentionOptimized`
+derives the unified-verification variant from it.
+
+Known limitation (shared with the paper's design): a reduce-max fault is not
+*corrected* -- its effect cancels between numerator and denominator (SNVR
+case 1) as long as the exponentials stay in range.  A corruption large enough
+to underflow every exponential of a row zeroes that row's accumulator; the
+rowsum restriction flags it (the normaliser falls below its theoretical lower
+bound) but the design provides no recomputation path for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.tiling import partition_blocks
+from repro.core.config import AttentionConfig, FaultToleranceReport
+from repro.core.snvr import exp_checksum_propagate, restrict_rowsum, verify_exp_products
+from repro.core.strided_abft import StridedABFT
+from repro.fault.injector import FaultInjector
+from repro.fault.models import FaultSite
+from repro.fp.float16 import fp16_matmul
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload, CostBreakdown
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+
+class EFTAttention:
+    """End-to-end fault tolerant attention with per-iteration verification."""
+
+    #: Whether verification of GEMM II / rowsum is deferred to the end of the
+    #: row-block loop (the unified-verification optimisation of Section 3.4).
+    unified_verification: bool = False
+
+    def __init__(self, config: AttentionConfig, spec: GPUSpec = A100_PCIE_40GB):
+        self.config = config
+        self.spec = spec
+        self.abft = StridedABFT(config)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        injector: FaultInjector | None = None,
+    ) -> tuple[np.ndarray, FaultToleranceReport]:
+        """Protected attention over ``(..., seq_len, head_dim)`` tensors."""
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if q.shape[:-2] != k.shape[:-2] or q.shape[:-2] != v.shape[:-2]:
+            raise ValueError("q, k, v must share leading dimensions")
+        if q.shape[-1] != k.shape[-1]:
+            raise ValueError("q and k must share the head dimension")
+
+        lead = q.shape[:-2]
+        q2 = q.reshape((-1,) + q.shape[-2:])
+        k2 = k.reshape((-1,) + k.shape[-2:])
+        v2 = v.reshape((-1,) + v.shape[-2:])
+        report = FaultToleranceReport()
+        out = np.empty_like(q2)
+        already_applied = injector.applied_count if injector is not None else 0
+        for g in range(q2.shape[0]):
+            out[g] = self._forward_single(q2[g], k2[g], v2[g], injector, report)
+        if injector is not None:
+            report.injected.extend(injector.records[already_applied:])
+        return out.reshape(lead + q.shape[-2:]), report
+
+    __call__ = forward
+
+    def cost_breakdown(self, batch: int, heads: int) -> CostBreakdown:
+        """Simulated (roofline) cost of EFTA for a full multi-head workload."""
+        workload = AttentionWorkload(
+            batch=batch,
+            heads=heads,
+            seq_len=self.config.seq_len,
+            head_dim=self.config.head_dim,
+            block_size=self.config.block_size,
+        )
+        model = AttentionCostModel(workload, self.spec)
+        return model.efta_breakdown(
+            qk_protection="strided",
+            softmax_protection="snvr",
+            pv_protection="strided",
+            unified_verification=self.unified_verification,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fused kernel for one (batch, head) problem
+    # ------------------------------------------------------------------ #
+    def _forward_single(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        injector: FaultInjector | None,
+        report: FaultToleranceReport,
+    ) -> np.ndarray:
+        cfg = self.config
+        scale = cfg.effective_scale
+        stride = cfg.checksum_stride
+        seq_len, head_dim = q.shape
+        out = np.empty((seq_len, head_dim), dtype=np.float32)
+
+        for i, row_blk in enumerate(partition_blocks(seq_len, cfg.block_size)):
+            q_i = q[row_blk]
+            rows = q_i.shape[0]
+            row_max = np.full(rows, -np.inf, dtype=np.float32)
+            row_sum = np.zeros(rows, dtype=np.float32)
+            acc = np.zeros((rows, head_dim), dtype=np.float32)
+            acc_c1 = np.zeros((rows, stride), dtype=np.float32)
+            acc_c2 = np.zeros((rows, stride), dtype=np.float32)
+            block_maxes: list[np.ndarray] = []
+
+            for j, col_blk in enumerate(partition_blocks(k.shape[0], cfg.block_size)):
+                k_j = k[col_blk]
+                v_j = v[col_blk]
+                block = (i, j)
+
+                # --- checksum encoding (CCG) -------------------------------
+                score_chk = self.abft.score_block_checksums(q_i, k_j, scale)
+                v_c1, v_c2 = self.abft.encode_value_checksums(v_j)
+
+                # --- GEMM I -------------------------------------------------
+                scores = fp16_matmul(q_i, k_j.T) * np.float32(scale)
+                if injector is not None:
+                    injector.corrupt(FaultSite.GEMM_QK, scores, block=block)
+
+                # --- reduce max (SNVR case 1: no protection needed) --------
+                local_max = scores.max(axis=1)
+                new_max = np.maximum(row_max, local_max)
+                if injector is not None:
+                    injector.corrupt(FaultSite.REDUCE_MAX, new_max, block=block)
+
+                # --- subtraction + exponentiation ---------------------------
+                probs = np.exp(scores - new_max[:, None]).astype(np.float32)
+                if injector is not None:
+                    injector.corrupt(FaultSite.SUBTRACT_EXP, probs, block=block)
+
+                # --- unified EXP / GEMM I verification ----------------------
+                probs, new_max, local_max = self._verify_exp_stage(
+                    scores, probs, row_max, new_max, local_max, score_chk, report
+                )
+
+                # --- reduce sum + SNVR case 3 -------------------------------
+                rescale = np.where(
+                    np.isfinite(row_max), np.exp(row_max - new_max), 0.0
+                ).astype(np.float32)
+                new_sum = rescale * row_sum + probs.sum(axis=1, dtype=np.float32)
+                if injector is not None:
+                    injector.corrupt(FaultSite.REDUCE_SUM, new_sum, block=block)
+                block_maxes.append(local_max)
+                if not self.unified_verification:
+                    new_sum = self._restrict_rowsum(
+                        new_sum, block_maxes, new_max, (j + 1) * cfg.block_size, report
+                    )
+                row_sum = new_sum
+
+                # --- rescale + GEMM II --------------------------------------
+                acc_scaled = rescale[:, None] * acc
+                if injector is not None:
+                    injector.corrupt(FaultSite.RESCALE, acc_scaled, block=block)
+                acc = acc_scaled + fp16_matmul(probs, v_j)
+                if injector is not None:
+                    injector.corrupt(FaultSite.GEMM_PV, acc, block=block)
+                acc_c1 = rescale[:, None] * acc_c1 + fp16_matmul(probs, v_c1)
+                acc_c2 = rescale[:, None] * acc_c2 + fp16_matmul(probs, v_c2)
+
+                if not self.unified_verification:
+                    verdict = self.abft.verify_output(acc, acc_c1, acc_c2)
+                    report.record_detection("gemm_pv", verdict.detected)
+                    report.record_correction("gemm_pv", verdict.corrected)
+                    report.record_uncorrectable("gemm_pv", verdict.uncorrectable)
+
+                row_max = new_max
+
+            # --- SNVR rowsum restriction before normalisation ---------------
+            row_sum = self._restrict_rowsum(row_sum, block_maxes, row_max, k.shape[0], report)
+
+            # --- normalisation ----------------------------------------------
+            denom = np.where(row_sum > 0.0, row_sum, 1.0).astype(np.float32)
+            o_block = acc / denom[:, None]
+            if injector is not None:
+                injector.corrupt(FaultSite.NORMALIZE, o_block, block=(i, -1))
+            acc_c1 = acc_c1 / denom[:, None]
+            acc_c2 = acc_c2 / denom[:, None]
+
+            # --- final unified verification of GEMM II / rescale / normalise -
+            verdict = self.abft.verify_output(o_block, acc_c1, acc_c2)
+            report.record_detection("output", verdict.detected)
+            report.record_correction("output", verdict.corrected)
+            report.record_uncorrectable("output", verdict.uncorrectable)
+
+            out[row_blk] = o_block
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Protection helpers
+    # ------------------------------------------------------------------ #
+    def _verify_exp_stage(
+        self,
+        scores: np.ndarray,
+        probs: np.ndarray,
+        prev_max: np.ndarray,
+        new_max: np.ndarray,
+        local_max: np.ndarray,
+        score_chk,
+        report: FaultToleranceReport,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Unified verification of GEMM I, the subtraction and the EXP.
+
+        The score checksum is propagated through the same subtraction and
+        exponentiation; a mismatch between the strided products of ``probs``
+        and the propagated checksum flags an error.  Linear errors (GEMM /
+        subtraction) are corrected via the strided checksums on the score
+        block; residual mismatches are attributed to the exponentiation and
+        recomputed (Algorithm 1, lines 13-16).
+
+        One subtlety the product check alone cannot see: a corrupted score so
+        large that it hijacks the running maximum drives both the propagated
+        checksum and the strided products to zero, making the comparison
+        degenerate.  Stride classes whose propagated checksum underflowed are
+        therefore re-verified against the *linear* score checksum, and when a
+        correction lands the maximum and the exponentials are recomputed from
+        the repaired scores.
+
+        Returns the (possibly repaired) probabilities, running maximum and
+        local maximum.
+        """
+        cfg = self.config
+        stride = cfg.checksum_stride
+        p_check = exp_checksum_propagate(score_chk.check1, new_max, score_chk.class_counts)
+        bad = verify_exp_products(
+            probs, p_check, stride, rtol=cfg.exp_product_rtol, atol=cfg.exp_product_atol
+        )
+        degenerate = p_check == 0.0
+        if not bad.any() and not degenerate.any():
+            return probs, new_max, local_max
+
+        if bad.any():
+            report.record_detection("exp_product", int(bad.sum()))
+
+        # Attempt linear correction on the score block first (this also covers
+        # the degenerate classes where the product comparison is meaningless).
+        verdict = self.abft.verify_scores(scores, score_chk)
+        if verdict.corrected:
+            if not bad.any():
+                report.record_detection("gemm_qk", verdict.corrected)
+            report.record_correction("gemm_qk", verdict.corrected)
+            # The corrupted scores may have polluted the reduce-max; recompute
+            # the maximum and the exponentials from the repaired block.
+            local_max = scores.max(axis=1)
+            new_max = np.maximum(prev_max, local_max)
+            probs = np.exp(scores - new_max[:, None]).astype(np.float32)
+            p_check = exp_checksum_propagate(score_chk.check1, new_max, score_chk.class_counts)
+        report.record_uncorrectable("gemm_qk", verdict.uncorrectable)
+
+        # Anything still inconsistent is an exponentiation error: recompute.
+        still_bad = verify_exp_products(
+            probs, p_check, stride, rtol=cfg.exp_product_rtol, atol=cfg.exp_product_atol
+        )
+        if still_bad.any():
+            rows, classes = np.nonzero(still_bad)
+            for r, c in zip(rows, classes):
+                cols = np.arange(c, scores.shape[1], stride)
+                probs[r, cols] = np.exp(scores[r, cols] - new_max[r])
+            report.record_recomputation("exp", int(len(rows)))
+        return probs, new_max, local_max
+
+    def _restrict_rowsum(
+        self,
+        row_sum: np.ndarray,
+        block_maxes: list[np.ndarray],
+        row_max: np.ndarray,
+        attended_positions: int,
+        report: FaultToleranceReport,
+    ) -> np.ndarray:
+        """SNVR case 3: range-restrict the running normaliser."""
+        if not block_maxes:
+            return row_sum
+        stacked = np.stack(block_maxes, axis=0)
+        lower = np.exp(stacked - row_max[None, :]).sum(axis=0).astype(np.float32)
+        upper = float(min(attended_positions, self.config.seq_len))
+        restricted, n_restored = restrict_rowsum(row_sum, lower, upper)
+        if n_restored:
+            report.record_detection("rowsum", n_restored)
+            report.record_restoration("rowsum", n_restored)
+        return restricted

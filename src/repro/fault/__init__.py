@@ -1,0 +1,31 @@
+"""Fault-injection framework: fault model, injector, campaigns and metrics.
+
+The fault model follows Section 2.2 of the paper: transient computing-unit
+faults (single event upsets) silently corrupt freshly computed values by
+flipping bits; memory faults are assumed handled by ECC and interconnect
+faults by FT-MPI, so injection targets the *outputs of computation steps*
+(GEMM tiles, exponentials, reductions), not stored operands.
+
+* :mod:`repro.fault.models` -- fault sites, fault specifications, SEU / BER
+  sampling.
+* :mod:`repro.fault.injector` -- the :class:`FaultInjector` used by the
+  protected kernels, plus bit-error-rate style corruption helpers.
+* :mod:`repro.fault.metrics` -- per-trial outcomes and campaign aggregates
+  (detection rate, false-alarm rate, coverage, error distributions).
+* :mod:`repro.fault.campaign` -- the Monte-Carlo experiments behind
+  Figures 12 and 14.
+"""
+
+from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
+from repro.fault.injector import FaultInjector, inject_bit_errors
+from repro.fault.metrics import CampaignResult, TrialOutcome
+
+__all__ = [
+    "FaultSite",
+    "FaultSpec",
+    "InjectionRecord",
+    "FaultInjector",
+    "inject_bit_errors",
+    "CampaignResult",
+    "TrialOutcome",
+]

@@ -1,0 +1,189 @@
+"""The fault injector used by the protected kernels, plus BER-style corruption.
+
+The injector is passed into a kernel; at every protected computation step the
+kernel offers its freshly produced tensor to :meth:`FaultInjector.corrupt`,
+which applies any pending :class:`FaultSpec` matching that site (and block),
+records what it did, and returns.  Fault-free runs simply use an un-armed
+injector (or ``None``), so protection code paths are identical with and
+without faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fp.bitflip import bit_width, flip_bit, random_bit_positions
+from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
+
+
+@dataclass
+class _PendingFault:
+    spec: FaultSpec
+    remaining_skips: int
+    applied: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Applies planned single-event upsets to kernel intermediates.
+
+    Parameters
+    ----------
+    specs:
+        Faults to apply.  Under the paper's SEU assumption each detection /
+        correction cycle sees at most one fault, but the injector supports an
+        arbitrary list so multi-error scenarios can be studied too.
+    seed:
+        Seed for the generator that draws unspecified element/bit positions.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    seed: int | None = None
+    records: list[InjectionRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._pending = [_PendingFault(spec=s, remaining_skips=s.occurrence) for s in self.specs]
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_bit_flip(
+        cls,
+        site: FaultSite,
+        seed: int | None = None,
+        block: tuple[int, int] | None = None,
+        index: tuple[int, ...] | None = None,
+        bit: int | None = None,
+        dtype: str = "fp16",
+        occurrence: int = 0,
+    ) -> "FaultInjector":
+        """Convenience constructor for the SEU model: exactly one bit flip."""
+        spec = FaultSpec(site=site, block=block, index=index, bit=bit, dtype=dtype, occurrence=occurrence)
+        return cls(specs=[spec], seed=seed)
+
+    @classmethod
+    def inert(cls) -> "FaultInjector":
+        """An injector with no planned faults (fault-free run)."""
+        return cls(specs=[])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def armed(self) -> bool:
+        """Whether any planned fault has not yet been applied."""
+        return any(not p.applied for p in self._pending)
+
+    @property
+    def applied_count(self) -> int:
+        """Number of faults injected so far."""
+        return len(self.records)
+
+    def reset(self) -> None:
+        """Re-arm all planned faults and clear the applied records."""
+        self.records.clear()
+        self._pending = [_PendingFault(spec=s, remaining_skips=s.occurrence) for s in self.specs]
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    def corrupt(
+        self,
+        site: FaultSite,
+        array: np.ndarray,
+        block: tuple[int, int] | None = None,
+    ) -> list[InjectionRecord]:
+        """Apply pending faults matching ``site`` (and ``block``) to ``array``.
+
+        The array is modified in place.  Returns the records of the faults
+        applied by this call (empty for fault-free invocations).
+        """
+        applied_now: list[InjectionRecord] = []
+        if not self._pending:
+            return applied_now
+        array = np.asarray(array)
+        for pending in self._pending:
+            spec = pending.spec
+            if pending.applied or spec.site != site:
+                continue
+            if spec.block is not None and block is not None and tuple(spec.block) != tuple(block):
+                continue
+            if pending.remaining_skips > 0:
+                pending.remaining_skips -= 1
+                continue
+            record = self._apply(spec, array, block)
+            pending.applied = True
+            self.records.append(record)
+            applied_now.append(record)
+        return applied_now
+
+    # ------------------------------------------------------------------ #
+    def _apply(
+        self, spec: FaultSpec, array: np.ndarray, block: tuple[int, int] | None
+    ) -> InjectionRecord:
+        if array.size == 0:
+            raise ValueError("cannot inject a fault into an empty array")
+        if spec.index is not None:
+            index = tuple(spec.index)
+            if len(index) != array.ndim:
+                raise ValueError(
+                    f"fault index {index} has wrong rank for array of shape {array.shape}"
+                )
+        else:
+            flat = int(self._rng.integers(array.size))
+            index = tuple(int(i) for i in np.unravel_index(flat, array.shape))
+        rep_dtype = np.float16 if spec.dtype == "fp16" else np.float32
+        width = bit_width(rep_dtype)
+        bit = spec.bit if spec.bit is not None else int(self._rng.integers(width))
+        original = float(array[index])
+        corrupted = flip_bit(original, bit, rep_dtype)
+        array[index] = corrupted
+        return InjectionRecord(
+            site=spec.site,
+            block=block,
+            index=index,
+            bit=bit,
+            original=original,
+            corrupted=float(array[index]),
+        )
+
+
+def inject_bit_errors(
+    array: np.ndarray,
+    bit_error_rate: float,
+    rng: np.random.Generator,
+    dtype: str = "fp16",
+    min_errors: int = 0,
+) -> list[InjectionRecord]:
+    """Corrupt ``array`` in place with independent bit flips at a given BER.
+
+    The number of flipped bits is drawn from a binomial distribution over all
+    bits of the tensor (``size * width``), matching the "computational bit
+    error rate" sweeps of Figure 12.  ``min_errors`` can force at least that
+    many flips so coverage statistics are defined even at low rates.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    rep_dtype = np.float16 if dtype == "fp16" else np.float32
+    width = bit_width(rep_dtype)
+    total_bits = array.size * width
+    n_errors = int(rng.binomial(total_bits, bit_error_rate))
+    n_errors = max(n_errors, min_errors)
+    n_errors = min(n_errors, array.size)
+    records: list[InjectionRecord] = []
+    if n_errors == 0:
+        return records
+    for index, bit in random_bit_positions(rng, array.shape, n_errors, width=width):
+        original = float(array[index])
+        corrupted = flip_bit(original, bit, rep_dtype)
+        array[index] = corrupted
+        records.append(
+            InjectionRecord(
+                site=FaultSite.GEMM_QK,
+                block=None,
+                index=index,
+                bit=bit,
+                original=original,
+                corrupted=float(array[index]),
+            )
+        )
+    return records

@@ -1,0 +1,109 @@
+"""Campaign metrics: detection rate, false-alarm rate, coverage, error distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrialOutcome:
+    """Result of one Monte-Carlo injection trial.
+
+    Attributes
+    ----------
+    injected:
+        Number of faults injected in the trial (0 for clean-run trials used to
+        measure false alarms).
+    detected:
+        Number of mismatches the protection scheme flagged.
+    corrected:
+        Number of injected faults whose effect was removed (output matches the
+        fault-free result within tolerance, or the corrupted element was
+        restored).
+    false_alarm:
+        True if the scheme flagged an error in a trial with no injection.
+    output_rel_error:
+        Relative error of the final output w.r.t. the fault-free oracle after
+        any correction was applied.
+    """
+
+    injected: int = 0
+    detected: int = 0
+    corrected: int = 0
+    false_alarm: bool = False
+    output_rel_error: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of many :class:`TrialOutcome` objects."""
+
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+
+    def add(self, outcome: TrialOutcome) -> None:
+        """Record one trial."""
+        self.outcomes.append(outcome)
+
+    @property
+    def n_trials(self) -> int:
+        """Total number of trials."""
+        return len(self.outcomes)
+
+    @property
+    def injected_trials(self) -> list[TrialOutcome]:
+        """Trials in which at least one fault was injected."""
+        return [o for o in self.outcomes if o.injected > 0]
+
+    @property
+    def clean_trials(self) -> list[TrialOutcome]:
+        """Trials with no injected fault (false-alarm measurement)."""
+        return [o for o in self.outcomes if o.injected == 0]
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injected trials in which the fault was detected."""
+        trials = self.injected_trials
+        if not trials:
+            return 0.0
+        return sum(1 for o in trials if o.detected > 0) / len(trials)
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of clean trials in which the scheme raised an alarm."""
+        trials = self.clean_trials
+        if not trials:
+            return 0.0
+        return sum(1 for o in trials if o.false_alarm) / len(trials)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of injected faults that were corrected (error coverage)."""
+        injected = sum(o.injected for o in self.outcomes)
+        if injected == 0:
+            return 0.0
+        corrected = sum(o.corrected for o in self.outcomes)
+        return corrected / injected
+
+    @property
+    def mean_output_error(self) -> float:
+        """Mean relative output error over injected trials."""
+        trials = self.injected_trials
+        if not trials:
+            return 0.0
+        return float(np.mean([o.output_rel_error for o in trials]))
+
+    def error_distribution(self, bins: int = 20, upper: float = 0.2) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of post-correction relative output errors (Figure 14, right).
+
+        Returns ``(bin_edges, fractions)`` where fractions sum to 1 over the
+        injected trials (errors above ``upper`` fall into the last bin).
+        """
+        trials = self.injected_trials
+        edges = np.linspace(0.0, upper, bins + 1)
+        if not trials:
+            return edges, np.zeros(bins)
+        errors = np.clip([o.output_rel_error for o in trials], 0.0, upper)
+        hist, _ = np.histogram(errors, bins=edges)
+        return edges, hist / len(trials)

@@ -1,0 +1,91 @@
+"""Fault sites, fault specifications, and injection records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultSite(str, enum.Enum):
+    """Computation steps of the attention / feed-forward pipelines that can fault.
+
+    The values mirror the stages of Algorithm 1 plus the decoupled baseline's
+    kernels and the linear (feed-forward / projection) GEMMs.
+    """
+
+    GEMM_QK = "gemm_qk"            # S_ij = Q_i K_j^T (GEMM I)
+    REDUCE_MAX = "reduce_max"      # running row maximum m_ij (SNVR case 1)
+    SUBTRACT_EXP = "subtract_exp"  # P_ij = exp(S_ij - m_ij) (SNVR case 2)
+    REDUCE_SUM = "reduce_sum"      # running normaliser l_ij (SNVR case 3)
+    GEMM_PV = "gemm_pv"            # O accumulation (GEMM II)
+    RESCALE = "rescale"            # diag(exp(m_old - m_new)) O rescale
+    NORMALIZE = "normalize"        # final diag(l)^-1 O
+    SOFTMAX = "softmax"            # decoupled row-softmax kernel output
+    LINEAR = "linear"              # feed-forward / projection GEMM output
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class FaultSpec:
+    """Description of one fault to inject.
+
+    Attributes
+    ----------
+    site:
+        Pipeline stage whose freshly computed output is corrupted.
+    block:
+        Optional (i, j) block coordinates restricting the fault to one inner
+        iteration of the fused kernel; ``None`` matches the first invocation
+        of the site.
+    index:
+        Optional element coordinates within the corrupted tensor; drawn
+        uniformly at injection time when ``None``.
+    bit:
+        Bit position to flip; drawn uniformly when ``None``.
+    dtype:
+        Representation in which the flip occurs: ``"fp16"`` for values living
+        in half-precision registers, ``"fp32"`` for accumulator values.
+    occurrence:
+        Which matching invocation to corrupt (0 = first).  Lets campaigns
+        target, e.g., the third inner iteration without knowing block ids.
+    """
+
+    site: FaultSite
+    block: tuple[int, int] | None = None
+    index: tuple[int, ...] | None = None
+    bit: int | None = None
+    dtype: str = "fp16"
+    occurrence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("fp16", "fp32"):
+            raise ValueError("dtype must be 'fp16' or 'fp32'")
+        if self.occurrence < 0:
+            raise ValueError("occurrence must be non-negative")
+
+
+@dataclass
+class InjectionRecord:
+    """An applied fault: where it landed and how it changed the value."""
+
+    site: FaultSite
+    block: tuple[int, int] | None
+    index: tuple[int, ...]
+    bit: int
+    original: float
+    corrupted: float
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute change introduced by the flip."""
+        return abs(self.corrupted - self.original)
+
+    @property
+    def relative_magnitude(self) -> float:
+        """Change relative to the original value (inf-safe)."""
+        denom = abs(self.original)
+        if denom == 0.0:
+            return float("inf") if self.magnitude else 0.0
+        return self.magnitude / denom

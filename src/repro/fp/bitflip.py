@@ -1,0 +1,114 @@
+"""Bit-level views of floating point values and bit-flip primitives.
+
+Soft errors in arithmetic units manifest as flipped bits in the binary
+representation of a computed value (§2.2 of the paper).  These helpers convert
+between floats and their IEEE-754 bit patterns and flip chosen bits, for both
+half precision (16-bit) and single precision (32-bit) values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_UINT_FOR = {
+    np.dtype(np.float16): np.uint16,
+    np.dtype(np.float32): np.uint32,
+    np.dtype(np.float64): np.uint64,
+}
+
+_BITS_FOR = {
+    np.dtype(np.float16): 16,
+    np.dtype(np.float32): 32,
+    np.dtype(np.float64): 64,
+}
+
+
+def _uint_dtype(dtype: np.dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    try:
+        return np.dtype(_UINT_FOR[dtype])
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported float dtype for bit access: {dtype}") from exc
+
+
+def bit_width(dtype: np.dtype | type) -> int:
+    """Number of bits in the representation of ``dtype``."""
+    return _BITS_FOR[np.dtype(dtype)]
+
+
+def float_to_bits(x: np.ndarray | float, dtype: np.dtype | type = np.float32) -> np.ndarray:
+    """Return the IEEE-754 bit pattern of ``x`` as an unsigned integer array."""
+    arr = np.asarray(x, dtype=dtype)
+    return arr.view(_uint_dtype(arr.dtype))
+
+
+def bits_to_float(bits: np.ndarray, dtype: np.dtype | type = np.float32) -> np.ndarray:
+    """Inverse of :func:`float_to_bits`."""
+    dtype = np.dtype(dtype)
+    bits = np.asarray(bits, dtype=_uint_dtype(dtype))
+    return bits.view(dtype)
+
+
+def flip_bit(value: float, bit: int, dtype: np.dtype | type = np.float32) -> float:
+    """Flip a single bit of a scalar float and return the corrupted value.
+
+    Parameters
+    ----------
+    value:
+        The original scalar.
+    bit:
+        Bit index, 0 = least-significant mantissa bit up to ``width-1`` = sign.
+    dtype:
+        Representation in which the flip happens (float16 or float32).
+    """
+    dtype = np.dtype(dtype)
+    width = bit_width(dtype)
+    if not 0 <= bit < width:
+        raise ValueError(f"bit index {bit} out of range for {dtype} ({width} bits)")
+    udtype = _uint_dtype(dtype)
+    bits = np.asarray(value, dtype=dtype).view(udtype)
+    mask = udtype.type(1) << udtype.type(bit)
+    corrupted = np.bitwise_xor(bits, mask)
+    return float(corrupted.view(dtype))
+
+
+def flip_bit_array(
+    array: np.ndarray,
+    index: tuple[int, ...],
+    bit: int,
+    dtype: np.dtype | type | None = None,
+) -> float:
+    """Flip one bit of ``array[index]`` in place; return the new value.
+
+    If ``dtype`` is given, the value is first quantized to ``dtype`` (e.g. an
+    FP32 accumulator value corrupted while living in an FP16 register) and the
+    flip happens in that representation; the corrupted value is then written
+    back in the array's own dtype.
+    """
+    rep_dtype = np.dtype(dtype) if dtype is not None else array.dtype
+    original = float(array[index])
+    corrupted = flip_bit(original, bit, rep_dtype)
+    array[index] = corrupted
+    return float(array[index])
+
+
+def random_bit_positions(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    n_errors: int,
+    width: int = 16,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Draw ``n_errors`` distinct (element index, bit index) fault locations.
+
+    Used by the Monte-Carlo campaigns of Figure 12 to place bit errors
+    uniformly over a tensor of ``shape`` with ``width``-bit elements.
+    """
+    total_elems = int(np.prod(shape))
+    if n_errors > total_elems:
+        raise ValueError("cannot place more errors than elements")
+    flat = rng.choice(total_elems, size=n_errors, replace=False)
+    bits = rng.integers(0, width, size=n_errors)
+    positions = []
+    for f, b in zip(flat, bits):
+        positions.append((tuple(int(i) for i in np.unravel_index(int(f), shape)), int(b)))
+    return positions

@@ -1,0 +1,294 @@
+"""ABFT checksum encodings: traditional element-wise and strided tensor checksums.
+
+Two families are implemented:
+
+* **Traditional (Huang & Abraham) checksums** (Equations 8-9): the operand
+  matrices are augmented with full-width row/column checksum vectors using the
+  weights ``[1, 1, ..., 1]`` and ``[1, 2, ..., M]``; a single error in the
+  product is located by the ratio of the two residuals and corrected by adding
+  the unweighted residual back.
+* **Strided tensor checksums** (Equations 12-15): the operand is folded at the
+  same-thread stride of the TiledMMA layout (8 along the output's N
+  dimension), producing an 8-column-wide checksum per block.  Each of the 8
+  checksum columns protects an interleaved subset of the output columns, so up
+  to 8 errors per row are correctable as long as no two fall in the same
+  stride class -- the "up to a factor of 8" coverage improvement of §3.3.
+
+All verification routines return a :class:`ChecksumVerdict` describing what
+was detected, what was corrected, and what could not be corrected, and they
+correct the output **in place** (mirroring the in-register correction of the
+CUDA kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Correction:
+    """One applied (or attempted) correction."""
+
+    row: int
+    col: int
+    delta: float
+
+
+@dataclass
+class ChecksumVerdict:
+    """Outcome of a checksum verification pass."""
+
+    detected: int = 0
+    corrections: list[Correction] = field(default_factory=list)
+    uncorrectable: int = 0
+    max_residual: float = 0.0
+
+    @property
+    def corrected(self) -> int:
+        """Number of corrections applied."""
+        return len(self.corrections)
+
+    @property
+    def clean(self) -> bool:
+        """True if no mismatch exceeded the threshold."""
+        return self.detected == 0
+
+    def merge(self, other: "ChecksumVerdict") -> "ChecksumVerdict":
+        """Accumulate another verdict into this one and return ``self``."""
+        self.detected += other.detected
+        self.corrections.extend(other.corrections)
+        self.uncorrectable += other.uncorrectable
+        self.max_residual = max(self.max_residual, other.max_residual)
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# Traditional (element-wise) checksums, Equations (8) and (9)
+# --------------------------------------------------------------------------- #
+def column_weights(m: int, dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+    """Column checksum weight vectors ``c1 = 1`` and ``c2 = [1..M]``."""
+    return np.ones(m, dtype=dtype), np.arange(1, m + 1, dtype=dtype)
+
+
+def row_weights(n: int, dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+    """Row checksum weight vectors ``r1 = 1`` and ``r2 = [1..N]``."""
+    return np.ones(n, dtype=dtype), np.arange(1, n + 1, dtype=dtype)
+
+
+def encode_column_checksums(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode the two column-checksum rows ``c1 A`` and ``c2 A`` of ``A`` (M x K)."""
+    a = np.asarray(a, dtype=np.float32)
+    c1, c2 = column_weights(a.shape[0])
+    return c1 @ a, c2 @ a
+
+
+def encode_row_checksums(b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode the two row-checksum columns ``B r1`` and ``B r2`` of ``B`` (K x N)."""
+    b = np.asarray(b, dtype=np.float32)
+    r1, r2 = row_weights(b.shape[1])
+    return b @ r1, b @ r2
+
+
+def _threshold(magnitude: np.ndarray, atol: float, rtol: float) -> np.ndarray:
+    """Detection threshold: absolute floor plus a fraction of the accumulated magnitude.
+
+    Checksums are signed sums and can cancel to near zero even when the
+    accumulated values are large, so thresholds must be relative to the sum of
+    *absolute* values that went into the checksum -- otherwise FP16 round-off
+    triggers false alarms on near-zero checksums (cf. Figure 12's false-alarm
+    analysis).
+    """
+    return atol + rtol * np.abs(magnitude)
+
+
+def verify_column_checksums(
+    c: np.ndarray,
+    c_check1: np.ndarray,
+    c_check2: np.ndarray,
+    atol: float = 1e-3,
+    rtol: float = 0.0,
+) -> ChecksumVerdict:
+    """Verify/correct ``C`` (M x N) against column checksums of shape (N,).
+
+    ``c_check1``/``c_check2`` are the checksum rows produced by multiplying the
+    encoded operand (``c1 A`` and ``c2 A``) with B.  A single corrupted element
+    per column is located via the residual ratio and corrected in place.
+    """
+    c = np.asarray(c)
+    sum1 = c.sum(axis=0, dtype=np.float64)
+    sum2 = (np.arange(1, c.shape[0] + 1, dtype=np.float64)[:, None] * c).sum(axis=0)
+    res1 = np.asarray(c_check1, dtype=np.float64) - sum1
+    res2 = np.asarray(c_check2, dtype=np.float64) - sum2
+    verdict = ChecksumVerdict()
+    verdict.max_residual = float(np.max(np.abs(res1))) if res1.size else 0.0
+    magnitude = np.abs(c).sum(axis=0, dtype=np.float64)
+    thresh = _threshold(magnitude, atol, rtol)
+    bad_cols = np.nonzero(np.abs(res1) > thresh)[0]
+    verdict.detected = int(bad_cols.size)
+    for j in bad_cols:
+        if abs(res1[j]) < np.finfo(np.float64).tiny:
+            verdict.uncorrectable += 1
+            continue
+        row_f = res2[j] / res1[j]
+        row = int(round(row_f)) - 1
+        if not 0 <= row < c.shape[0] or abs(row_f - round(row_f)) > 0.25:
+            verdict.uncorrectable += 1
+            continue
+        delta = res1[j]
+        c[row, j] += delta
+        verdict.corrections.append(Correction(row=row, col=int(j), delta=float(delta)))
+    return verdict
+
+
+def verify_row_checksums(
+    c: np.ndarray,
+    r_check1: np.ndarray,
+    r_check2: np.ndarray,
+    atol: float = 1e-3,
+    rtol: float = 0.0,
+) -> ChecksumVerdict:
+    """Verify/correct ``C`` (M x N) against row checksums of shape (M,)."""
+    c = np.asarray(c)
+    sum1 = c.sum(axis=1, dtype=np.float64)
+    sum2 = (c * np.arange(1, c.shape[1] + 1, dtype=np.float64)[None, :]).sum(axis=1)
+    res1 = np.asarray(r_check1, dtype=np.float64) - sum1
+    res2 = np.asarray(r_check2, dtype=np.float64) - sum2
+    verdict = ChecksumVerdict()
+    verdict.max_residual = float(np.max(np.abs(res1))) if res1.size else 0.0
+    magnitude = np.abs(c).sum(axis=1, dtype=np.float64)
+    thresh = _threshold(magnitude, atol, rtol)
+    bad_rows = np.nonzero(np.abs(res1) > thresh)[0]
+    verdict.detected = int(bad_rows.size)
+    for i in bad_rows:
+        if abs(res1[i]) < np.finfo(np.float64).tiny:
+            verdict.uncorrectable += 1
+            continue
+        col_f = res2[i] / res1[i]
+        col = int(round(col_f)) - 1
+        if not 0 <= col < c.shape[1] or abs(col_f - round(col_f)) > 0.25:
+            verdict.uncorrectable += 1
+            continue
+        delta = res1[i]
+        c[i, col] += delta
+        verdict.corrections.append(Correction(row=int(i), col=col, delta=float(delta)))
+    return verdict
+
+
+# --------------------------------------------------------------------------- #
+# Strided tensor checksums, Equations (12)-(15)
+# --------------------------------------------------------------------------- #
+def _num_groups(cols: int, stride: int) -> int:
+    return -(-cols // stride)
+
+
+def encode_strided_row_checksums(
+    kt: np.ndarray, stride: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode the two strided (tensor) row checksums of ``K^T`` (d x Bc).
+
+    The columns of ``K^T`` are folded in groups of ``stride``:
+    ``checksum1[:, j] = sum_l K^T[:, j + l*stride]`` and ``checksum2`` uses the
+    group weight ``l + 1``.  Columns beyond the matrix extent contribute zero
+    (equivalent to zero-padding the block, as the kernel does for ragged
+    tails).
+    """
+    kt = np.asarray(kt, dtype=np.float32)
+    d, cols = kt.shape
+    groups = _num_groups(cols, stride)
+    check1 = np.zeros((d, stride), dtype=np.float32)
+    check2 = np.zeros((d, stride), dtype=np.float32)
+    for l in range(groups):
+        chunk = kt[:, l * stride : (l + 1) * stride]
+        width = chunk.shape[1]
+        check1[:, :width] += chunk
+        check2[:, :width] += np.float32(l + 1) * chunk
+    return check1, check2
+
+
+def strided_sums(s: np.ndarray, stride: int = 8) -> tuple[np.ndarray, np.ndarray]:
+    """Strided column sums of ``S`` (Br x Bc) matching the tensor checksums.
+
+    Returns ``(sum1, sum2)`` of shape (Br, stride): ``sum1[i, j] =
+    sum_l S[i, j + l*stride]`` and ``sum2`` with weight ``l + 1``.
+    """
+    s = np.asarray(s)
+    rows, cols = s.shape
+    groups = _num_groups(cols, stride)
+    sum1 = np.zeros((rows, stride), dtype=np.float64)
+    sum2 = np.zeros((rows, stride), dtype=np.float64)
+    for l in range(groups):
+        chunk = s[:, l * stride : (l + 1) * stride].astype(np.float64)
+        width = chunk.shape[1]
+        sum1[:, :width] += chunk
+        sum2[:, :width] += (l + 1) * chunk
+    return sum1, sum2
+
+
+def verify_strided_checksums(
+    s: np.ndarray,
+    s_check1: np.ndarray,
+    s_check2: np.ndarray,
+    stride: int = 8,
+    atol: float = 1e-2,
+    rtol: float = 0.0,
+) -> ChecksumVerdict:
+    """Verify/correct ``S`` against its strided tensor checksums, in place.
+
+    ``s_check1``/``s_check2`` are the (Br x stride) checksums produced by the
+    checksum GEMM (Equations 14-15).  For every (row, stride-class) whose
+    residual exceeds the threshold, the offending group index is recovered
+    from the residual ratio and the element ``S[row, class + stride*group]``
+    is corrected by the unweighted residual.  Errors in different stride
+    classes of the same row are corrected independently, which is the source
+    of the coverage advantage over single-column checksums.
+    """
+    s = np.asarray(s)
+    rows, cols = s.shape
+    groups = _num_groups(cols, stride)
+    verdict = ChecksumVerdict()
+
+    # Non-finite elements (a bit flip can turn an FP16 value into NaN/Inf)
+    # poison every sum they touch, so they are repaired first: with a single
+    # corrupted element per stride class, the correct value is the checksum
+    # minus the sum of the remaining (finite) elements of that class.
+    nonfinite = ~np.isfinite(s)
+    if nonfinite.any():
+        check1 = np.asarray(s_check1, dtype=np.float64)
+        for i, j in np.argwhere(nonfinite):
+            cls = j % stride
+            class_cols = np.arange(cls, cols, stride)
+            others = class_cols[class_cols != j]
+            if np.all(np.isfinite(s[i, others])):
+                verdict.detected += 1
+                repaired = check1[i, cls] - float(np.sum(s[i, others], dtype=np.float64))
+                delta = repaired - float(s[i, j]) if np.isfinite(s[i, j]) else float("nan")
+                s[i, j] = repaired
+                verdict.corrections.append(Correction(row=int(i), col=int(j), delta=delta))
+            else:
+                verdict.detected += 1
+                verdict.uncorrectable += 1
+
+    sum1, sum2 = strided_sums(s, stride)
+    res1 = np.asarray(s_check1, dtype=np.float64) - sum1
+    res2 = np.asarray(s_check2, dtype=np.float64) - sum2
+    verdict.max_residual = float(np.max(np.abs(res1))) if res1.size else 0.0
+    magnitude, _ = strided_sums(np.abs(s), stride)
+    thresh = _threshold(magnitude, atol, rtol)
+    bad = np.argwhere(np.abs(res1) > thresh)
+    verdict.detected = int(bad.shape[0])
+    for i, j in bad:
+        if abs(res1[i, j]) < np.finfo(np.float64).tiny:
+            verdict.uncorrectable += 1
+            continue
+        group_f = res2[i, j] / res1[i, j]
+        group = int(round(group_f)) - 1
+        col = j + stride * group
+        if not 0 <= group < groups or col >= cols or abs(group_f - round(group_f)) > 0.25:
+            verdict.uncorrectable += 1
+            continue
+        delta = res1[i, j]
+        s[i, col] += delta
+        verdict.corrections.append(Correction(row=int(i), col=int(col), delta=float(delta)))
+    return verdict

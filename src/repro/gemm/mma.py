@@ -1,0 +1,168 @@
+"""Thread/data ownership maps for Tensor-Core MMA instructions.
+
+Section 3.3 of the paper derives the strided tensor-checksum design from the
+register layout of the ``SM80_16x8x16_F32F16F16F32_TN`` MMA atom and the
+64x16x16 TiledMMA built from it: along the output's N dimension, elements 8
+apart live in the same thread; along the M dimension the same-thread stride is
+64 (one full TiledMMA tile).  A checksum that folds elements at exactly those
+strides can therefore be encoded, verified and corrected without any
+inter-thread communication.
+
+This module reproduces those ownership maps so the checksum design can be
+*validated* against them (see ``tests/gemm/test_mma.py``) rather than merely
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MMAAtomLayout:
+    """Ownership map of a single warp-level MMA atom.
+
+    The default parameters describe ``SM80_16x8x16_F32F16F16F32_TN``: a warp
+    of 32 threads multiplying a 16x16 FP16 A fragment by a 16x8 FP16 B
+    fragment into a 16x8 FP32 C fragment.
+    """
+
+    m: int = 16
+    n: int = 8
+    k: int = 16
+    warp_size: int = 32
+
+    def a_owner(self, row: int, col: int) -> tuple[int, int]:
+        """Owning (lane, register) of element ``A[row][col]`` of the atom.
+
+        The A fragment is distributed as four 8x8 sub-tiles; within each
+        sub-tile element ``(r, c)`` lives in lane ``r*4 + c//2`` register
+        ``c % 2`` (PTX ``mma.sync.aligned.m16n8k16`` operand A layout).
+        """
+        self._check(row, col, self.m, self.k)
+        r, c = row % 8, col % 8
+        sub = 2 * (row // 8) + (col // 8)
+        return r * 4 + c // 2, 2 * sub + (c % 2)
+
+    def b_owner(self, row: int, col: int) -> tuple[int, int]:
+        """Owning (lane, register) of element ``B[row][col]`` (K x N) of the atom."""
+        self._check(row, col, self.k, self.n)
+        r, c = row % 8, col
+        sub = row // 8
+        return c * 4 + r // 2, 2 * sub + (r % 2)
+
+    def c_owner(self, row: int, col: int) -> tuple[int, int]:
+        """Owning (lane, register) of accumulator element ``C[row][col]``.
+
+        Rows 0-7 map to registers {0, 1}, rows 8-15 to registers {2, 3}; the
+        lane depends only on ``row % 8`` and ``col // 2``, which is what makes
+        the N-direction stride-8 fold intra-thread once the atom is repeated
+        along N.
+        """
+        self._check(row, col, self.m, self.n)
+        lane = (row % 8) * 4 + col // 2
+        reg = 2 * (row // 8) + (col % 2)
+        return lane, reg
+
+    @staticmethod
+    def _check(row: int, col: int, rows: int, cols: int) -> None:
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise IndexError(f"element ({row}, {col}) outside {rows}x{cols} fragment")
+
+
+#: The MMA atom used by the paper's kernels.
+SM80_16x8x16 = MMAAtomLayout()
+
+
+@dataclass(frozen=True)
+class TiledMMALayout:
+    """Ownership map of a TiledMMA built by replicating an MMA atom.
+
+    The EFTA kernel uses four warps stacked along M (64 rows) and covers the
+    block's N extent by iterating the 8-wide atom (value replication along N),
+    giving the 64x16x16 TiledMMA of Figure 7.  Larger block extents are
+    covered by repeating the TiledMMA tile, so ownership is periodic with the
+    tile shape.
+    """
+
+    atom: MMAAtomLayout = SM80_16x8x16
+    warps_m: int = 4
+    atom_iters_n: int = 2
+
+    @property
+    def tile_m(self) -> int:
+        """Rows of the output covered by one TiledMMA tile."""
+        return self.atom.m * self.warps_m
+
+    @property
+    def tile_n(self) -> int:
+        """Columns of the output covered by one TiledMMA tile."""
+        return self.atom.n * self.atom_iters_n
+
+    @property
+    def threads(self) -> int:
+        """Number of threads cooperating on one TiledMMA tile."""
+        return self.warps_m * self.atom.warp_size
+
+    def c_owner_thread(self, row: int, col: int) -> int:
+        """Global thread id owning output element ``(row, col)``.
+
+        Coordinates may exceed one tile; ownership repeats with period
+        ``tile_m`` along rows and ``atom.n`` along columns (column iterations
+        of the atom reuse the same threads).
+        """
+        if row < 0 or col < 0:
+            raise IndexError("negative output coordinates")
+        r = row % self.tile_m
+        warp = r // self.atom.m
+        lane, _ = self.atom.c_owner(r % self.atom.m, col % self.atom.n)
+        return warp * self.atom.warp_size + lane
+
+    def same_thread_column_stride(self) -> int:
+        """Smallest positive column stride guaranteed to stay in one thread.
+
+        This is the stride of the row-wise tensor checksum (Equation 12):
+        folding output columns ``j, j+s, j+2s, ...`` is an intra-thread
+        accumulation.
+        """
+        return self.atom.n
+
+    def same_thread_row_stride(self) -> int:
+        """Smallest positive row stride guaranteed to stay in one thread.
+
+        Folding rows requires a stride of one full TiledMMA tile (64), which
+        is why the column-checksum variant costs ~8x the memory of the
+        row-checksum variant and the paper adopts a row-checksum-only design.
+        """
+        return self.tile_m
+
+    def is_intra_thread_fold(self, stride: int, axis: str, extent: int = 256) -> bool:
+        """Check whether folding at ``stride`` along ``axis`` never crosses threads.
+
+        Parameters
+        ----------
+        stride:
+            Fold stride to test.
+        axis:
+            ``"rows"`` or ``"cols"`` of the output tile.
+        extent:
+            How far to scan when validating the property.
+        """
+        if axis not in ("rows", "cols"):
+            raise ValueError("axis must be 'rows' or 'cols'")
+        for base in range(min(stride, extent)):
+            owners = set()
+            pos = base
+            while pos < extent:
+                if axis == "cols":
+                    owners.add(self.c_owner_thread(0, pos))
+                else:
+                    owners.add(self.c_owner_thread(pos, 0))
+                pos += stride
+            if len(owners) > 1:
+                return False
+        return True
+
+
+#: The TiledMMA configuration used by the EFTA kernel (Figure 7).
+EFTA_TILED_MMA = TiledMMALayout()

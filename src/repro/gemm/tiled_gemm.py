@@ -1,0 +1,74 @@
+"""Blocked mixed-precision GEMM, the compute primitive of both attention pipelines.
+
+The CUDA kernels tile their GEMMs over thread blocks; here the same tiling is
+reproduced with NumPy sub-matrix products so that (a) fault injection can
+target an individual block / element exactly like a faulty MMA would, and
+(b) the block structure matches the checksum granularity of
+:mod:`repro.gemm.checksum`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.fp.float16 import fp16_matmul
+
+
+def iter_tiles(rows: int, cols: int, tile_rows: int, tile_cols: int) -> Iterator[tuple[slice, slice]]:
+    """Yield (row slice, col slice) pairs covering a ``rows x cols`` matrix."""
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ValueError("tile sizes must be positive")
+    for r0 in range(0, rows, tile_rows):
+        for c0 in range(0, cols, tile_cols):
+            yield slice(r0, min(r0 + tile_rows, rows)), slice(c0, min(c0 + tile_cols, cols))
+
+
+def blocked_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    tile_m: int = 128,
+    tile_n: int = 128,
+    mixed_precision: bool = True,
+    tile_hook: Callable[[np.ndarray, slice, slice], None] | None = None,
+) -> np.ndarray:
+    """Compute ``a @ b`` tile by tile, optionally corrupting tiles via a hook.
+
+    Parameters
+    ----------
+    a, b:
+        2-D operands (M x K) and (K x N).
+    tile_m, tile_n:
+        Output tile shape processed per step (one simulated CTA's workload).
+    mixed_precision:
+        Use FP16 operands with FP32 accumulation (Tensor-Core numerics); when
+        False the multiply runs in the operands' own precision.
+    tile_hook:
+        Optional callable invoked as ``hook(tile, row_slice, col_slice)``
+        after each tile is computed and before it is stored; the fault
+        injector uses this to flip bits in freshly produced results, i.e. a
+        computing-unit fault rather than a memory fault.
+
+    Returns
+    -------
+    np.ndarray
+        The product in float32.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("blocked_matmul expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    m, n = a.shape[0], b.shape[1]
+    out = np.empty((m, n), dtype=np.float32)
+    for rs, cs in iter_tiles(m, n, tile_m, tile_n):
+        if mixed_precision:
+            tile = fp16_matmul(a[rs, :], b[:, cs])
+        else:
+            tile = np.matmul(a[rs, :], b[:, cs]).astype(np.float32)
+        if tile_hook is not None:
+            tile_hook(tile, rs, cs)
+        out[rs, cs] = tile
+    return out

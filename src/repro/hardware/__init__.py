@@ -1,0 +1,32 @@
+"""GPU hardware substrate: A100 specs, HBM tracking, and a roofline cost model.
+
+The paper's evaluation is wall-clock time on a 40 GB A100-PCIE.  Without the
+physical device, the timing experiments (Figures 9-13, Tables 1-2, Figure 15)
+are reproduced by an analytical model driven by exact per-kernel FLOP counts,
+HBM byte traffic, and kernel-launch counts.  The model is a classic roofline:
+
+``time = launches * launch_latency + max(flops / peak_flops, bytes / bandwidth)``
+
+with separate peaks for Tensor-Core FP16 work, CUDA-core FP32 work and special
+function (exp) work, plus an efficiency factor because real kernels do not hit
+peak.  Relative orderings (EFTA vs decoupled, strided vs traditional ABFT,
+SNVR vs DMR) follow directly from the quantities each scheme must move and
+compute, which is the behaviour the paper's figures demonstrate.
+"""
+
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+from repro.hardware.memory import HBMTracker, OutOfMemoryError
+from repro.hardware.kernel import KernelCost, KernelLedger
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload, CostBreakdown
+
+__all__ = [
+    "A100_PCIE_40GB",
+    "GPUSpec",
+    "HBMTracker",
+    "OutOfMemoryError",
+    "KernelCost",
+    "KernelLedger",
+    "AttentionCostModel",
+    "AttentionWorkload",
+    "CostBreakdown",
+]

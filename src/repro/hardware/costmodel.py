@@ -1,0 +1,491 @@
+"""Analytical (roofline) cost model for the attention fault-tolerance schemes.
+
+Every timing experiment in the paper (Figures 9, 10, 11, 13, Tables 1 and 2,
+and the model-level Figure 15) compares schemes whose runtime differences are
+driven by three quantities:
+
+* HBM traffic -- the decoupled baseline writes and re-reads the O(n^2) score
+  and probability tensors, the fused EFTA kernel does not;
+* kernel launches -- three per attention for the decoupled baseline, one for
+  EFTA;
+* redundant compute -- checksum encoding, checksum GEMM columns, verification
+  sweeps, DMR re-execution, and SNVR's reduced-width checks.
+
+The :class:`AttentionCostModel` derives those quantities exactly from the
+attention workload shape and each scheme's definition, then converts them to
+time with the roofline formula of :class:`repro.hardware.kernel.KernelCost`.
+Absolute times are simulated; orderings, ratios and the OOM crossover are the
+reproduction targets (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.kernel import KernelCost, KernelLedger
+from repro.hardware.memory import HBMTracker, OutOfMemoryError
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+#: Extra cost multiplier applied to traditional (element-wise) checksum
+#: verification on Tensor Cores.  The MMA thread/data layout scatters each
+#: column over many threads (Figure 6), so a conventional column/row checksum
+#: needs inter-thread shuffles and serialised accumulation; the strided tensor
+#: checksum is designed precisely to avoid this (Section 3.3).
+TRADITIONAL_ABFT_COMM_PENALTY = 2.0
+
+#: Marginal utilisation of the checksum GEMM columns.  The 64x16x16 TiledMMA
+#: replicates work along N, so the extra 8 checksum columns largely ride along
+#: partially filled MMA tiles instead of displacing useful work.
+CHECKSUM_GEMM_UTILIZATION = 0.5
+
+#: CUDA-core operations charged per score element and per *extra* in-loop
+#: verification stage of the unoptimised workflow (pipeline drain / sync cost
+#: of interrupting the fused GEMM-softmax-GEMM pipeline to run a CCV phase).
+VERIFICATION_STAGE_STALL_FLOPS = 4.0
+
+#: Number of additional in-loop verification stages of the unoptimised EFTA
+#: workflow relative to the unified-verification one (separate GEMM-I CCV and
+#: per-iteration GEMM-II CCV + rowsum NVR, cf. Figure 5 vs Algorithm 1).
+EXTRA_VERIFICATION_STAGES = 2
+
+#: Extra cost multiplier applied to DMR softmax protection inside the fused
+#: kernel: the duplicated softmax cannot be overlapped with the GEMM pipeline
+#: and runs as a separate phase (Section 4.1, overhead breakdown discussion).
+DMR_PHASE_PENALTY = 2.0
+
+#: Width (number of columns) of the strided tensor checksum, equal to the N
+#: extent of the MMA atom (Section 3.3: stride 8, 8-element-wide checksum).
+TENSOR_CHECKSUM_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class AttentionWorkload:
+    """Shape of one multi-head attention computation.
+
+    The paper keeps the *total* token count fixed at 16 K and varies
+    ``seq_len`` while shrinking ``batch`` accordingly; :meth:`with_total_tokens`
+    builds such sweeps.
+    """
+
+    batch: int
+    heads: int
+    seq_len: int
+    head_dim: int
+    block_size: int = 128
+    bytes_per_element: int = 2  # FP16 storage
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.heads, self.seq_len, self.head_dim) <= 0:
+            raise ValueError("workload dimensions must be positive")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    @classmethod
+    def with_total_tokens(
+        cls,
+        seq_len: int,
+        total_tokens: int = 16 * 1024,
+        heads: int = 16,
+        head_dim: int = 64,
+        block_size: int = 128,
+    ) -> "AttentionWorkload":
+        """Build the paper's sweep point: batch chosen so batch*seq_len == total."""
+        batch = max(1, total_tokens // seq_len)
+        return cls(batch=batch, heads=heads, seq_len=seq_len, head_dim=head_dim, block_size=block_size)
+
+    @property
+    def groups(self) -> int:
+        """Number of independent (batch, head) attention problems."""
+        return self.batch * self.heads
+
+    @property
+    def hidden_dim(self) -> int:
+        """Model hidden dimension (heads * head_dim)."""
+        return self.heads * self.head_dim
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of sequence blocks of ``block_size`` (ceil division)."""
+        return -(-self.seq_len // self.block_size)
+
+    @property
+    def qkv_bytes(self) -> float:
+        """Bytes of one of Q, K or V in HBM."""
+        return self.groups * self.seq_len * self.head_dim * self.bytes_per_element
+
+    @property
+    def score_bytes(self) -> float:
+        """Bytes of the full score (or probability) tensor S in HBM."""
+        return self.groups * self.seq_len * self.seq_len * self.bytes_per_element
+
+    @property
+    def gemm_flops(self) -> float:
+        """Tensor-Core FLOPs of one of the two attention GEMMs (QK^T or PV)."""
+        return 2.0 * self.groups * self.seq_len * self.seq_len * self.head_dim
+
+    @property
+    def score_elements(self) -> float:
+        """Number of elements of the score tensor across all groups."""
+        return float(self.groups) * self.seq_len * self.seq_len
+
+
+@dataclass
+class CostBreakdown:
+    """Base cost of a scheme plus its named fault-tolerance components."""
+
+    name: str
+    spec: GPUSpec
+    base: KernelLedger
+    protection: dict[str, KernelCost] = field(default_factory=dict)
+
+    @property
+    def base_time(self) -> float:
+        """Unprotected execution time in seconds."""
+        return self.base.total_time()
+
+    @property
+    def protection_time(self) -> float:
+        """Total fault-tolerance time in seconds."""
+        return sum(c.time_seconds(self.spec) for c in self.protection.values())
+
+    @property
+    def total_time(self) -> float:
+        """Protected execution time in seconds."""
+        return self.base_time + self.protection_time
+
+    @property
+    def overhead(self) -> float:
+        """Fault-tolerance overhead as a fraction of the base time."""
+        return self.protection_time / self.base_time if self.base_time else 0.0
+
+    def component_time(self, name: str) -> float:
+        """Time of one named protection component in seconds."""
+        return self.protection[name].time_seconds(self.spec)
+
+    def component_overhead(self, name: str) -> float:
+        """Overhead fraction contributed by one named protection component."""
+        return self.component_time(name) / self.base_time if self.base_time else 0.0
+
+
+class AttentionCostModel:
+    """Derives kernel costs for every attention / protection scheme in the paper."""
+
+    def __init__(self, workload: AttentionWorkload, spec: GPUSpec = A100_PCIE_40GB):
+        self.workload = workload
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    # Unprotected baselines
+    # ------------------------------------------------------------------ #
+    def flash_attention_cost(self) -> KernelCost:
+        """Fused (flash-style) attention: one kernel, O(n) HBM traffic."""
+        w = self.workload
+        softmax_cuda = 5.0 * w.score_elements  # max-reduce, subtract, rowsum, rescale, normalize
+        return KernelCost(
+            name="e2e_attention",
+            tensor_flops=2.0 * w.gemm_flops,
+            cuda_flops=softmax_cuda,
+            exp_ops=w.score_elements,
+            bytes_read=3.0 * w.qkv_bytes,
+            bytes_written=w.qkv_bytes,
+            launches=1,
+        )
+
+    def decoupled_attention_pipeline(self, track_memory: bool = False) -> KernelLedger:
+        """Unprotected decoupled attention: 3 kernels, O(n^2) intermediates.
+
+        With ``track_memory`` the S and P tensors are registered against the
+        40 GB HBM capacity and :class:`OutOfMemoryError` propagates, which is
+        how Figure 9's 16 K OOM point is reproduced.
+        """
+        w = self.workload
+        if track_memory:
+            tracker = HBMTracker(self.spec)
+            tracker.allocate("qkv+o", 4 * int(w.qkv_bytes))
+            # S is produced by kernel I and consumed by the softmax kernel,
+            # which in turn materialises P for kernel II: both live at once,
+            # and the DMR softmax keeps a duplicate result for its comparison.
+            tracker.allocate("scores", int(w.score_bytes))
+            tracker.allocate("probs", int(w.score_bytes))
+            tracker.allocate("dmr_duplicate", int(w.score_bytes))
+        ledger = KernelLedger(self.spec)
+        ledger.add(
+            KernelCost(
+                name="gemm_qk",
+                tensor_flops=w.gemm_flops,
+                bytes_read=2.0 * w.qkv_bytes,
+                bytes_written=w.score_bytes,
+                launches=1,
+            )
+        )
+        ledger.add(
+            KernelCost(
+                name="row_softmax",
+                cuda_flops=4.0 * w.score_elements,
+                exp_ops=w.score_elements,
+                bytes_read=w.score_bytes,
+                bytes_written=w.score_bytes,
+                launches=1,
+            )
+        )
+        ledger.add(
+            KernelCost(
+                name="gemm_pv",
+                tensor_flops=w.gemm_flops,
+                bytes_read=w.score_bytes + w.qkv_bytes,
+                bytes_written=w.qkv_bytes,
+                launches=1,
+            )
+        )
+        return ledger
+
+    # ------------------------------------------------------------------ #
+    # Protection component costs
+    # ------------------------------------------------------------------ #
+    def traditional_abft_cost(self, which_gemm: str) -> KernelCost:
+        """Element-wise (single-row/column) ABFT on one of the attention GEMMs.
+
+        Encoding sums full rows/columns of the operands, the checksum GEMM
+        adds two rows and two columns, and verification re-reduces the full
+        result tensor.  On Tensor Cores the reductions cross thread ownership
+        boundaries, modelled by :data:`TRADITIONAL_ABFT_COMM_PENALTY`.
+        """
+        w = self.workload
+        encode_cuda = 4.0 * w.groups * w.seq_len * w.head_dim  # 2 checksums x 2 operands
+        checksum_gemm = 8.0 * w.groups * w.seq_len * w.head_dim  # 2 rows + 2 cols of length N, depth d
+        verify_cuda = 3.0 * w.score_elements  # weighted + unweighted re-reductions of C
+        return KernelCost(
+            name=f"traditional_abft_{which_gemm}",
+            tensor_flops=checksum_gemm,
+            cuda_flops=TRADITIONAL_ABFT_COMM_PENALTY * (encode_cuda + verify_cuda),
+            bytes_read=0.08 * w.qkv_bytes,
+            bytes_written=0.08 * w.qkv_bytes,
+            launches=0,
+        )
+
+    def strided_abft_cost(self, which_gemm: str) -> KernelCost:
+        """Strided (tensor-checksum) ABFT on one of the attention GEMMs.
+
+        The checksum is 8 columns wide per block, encoded by intra-thread
+        strided accumulation (no shuffles), and the checksum GEMM only adds
+        ``TENSOR_CHECKSUM_WIDTH`` columns per block-column iteration.
+        """
+        w = self.workload
+        s = TENSOR_CHECKSUM_WIDTH
+        encode_cuda = 2.0 * w.groups * w.seq_len * w.head_dim  # strided add over K (2 checksums)
+        # Checksum GEMM: for every (row block, col block) pair, Q_i (B x d) times
+        # the d x s checksum, for both weight vectors; the columns mostly fill
+        # spare N capacity of the TiledMMA tile (CHECKSUM_GEMM_UTILIZATION).
+        checksum_gemm = (
+            CHECKSUM_GEMM_UTILIZATION
+            * 2.0
+            * 2.0
+            * w.groups
+            * w.seq_len
+            * w.n_blocks
+            * s
+            * w.head_dim
+        )
+        # Verification: one intra-thread strided accumulation over the produced
+        # block plus a comparison against the s-wide checksum.
+        verify_cuda = 0.5 * w.score_elements + 2.0 * w.groups * w.seq_len * w.n_blocks * s
+        return KernelCost(
+            name=f"strided_abft_{which_gemm}",
+            tensor_flops=checksum_gemm,
+            cuda_flops=encode_cuda + verify_cuda,
+            bytes_read=0.02 * w.qkv_bytes,
+            bytes_written=0.02 * w.qkv_bytes,
+            launches=0,
+        )
+
+    def dmr_softmax_cost(self, fused: bool = True) -> KernelCost:
+        """Dual modular redundancy for the softmax: full re-execution + compare."""
+        w = self.workload
+        redo_exp = w.score_elements
+        redo_cuda = 4.0 * w.score_elements
+        compare_cuda = w.score_elements
+        penalty = DMR_PHASE_PENALTY if fused else 1.0
+        return KernelCost(
+            name="dmr_softmax",
+            cuda_flops=penalty * (redo_cuda + compare_cuda),
+            exp_ops=penalty * redo_exp,
+            bytes_read=0.0 if fused else w.score_bytes,
+            bytes_written=0.0 if fused else w.score_bytes,
+            launches=0,
+        )
+
+    def snvr_softmax_cost(self, unified: bool = False) -> KernelCost:
+        """Selective neuron value restriction for the softmax phase.
+
+        The exponential is protected by propagating the 8-wide tensor checksum
+        through the subtraction and EXP (checksum reuse), and the reduce-sum by
+        a range restriction.  With ``unified`` verification the rowsum check
+        happens once per output block instead of once per inner iteration.
+        """
+        w = self.workload
+        s = TENSOR_CHECKSUM_WIDTH
+        checksum_positions = w.groups * w.seq_len * w.n_blocks * s
+        checksum_exp = checksum_positions
+        product_verify = 1.0 * w.score_elements  # multiply chain + compare against checksum
+        if unified:
+            range_check = 2.0 * w.groups * w.seq_len
+        else:
+            range_check = 2.0 * w.groups * w.seq_len * w.n_blocks
+        return KernelCost(
+            name="snvr_softmax",
+            cuda_flops=product_verify + range_check + checksum_positions,
+            exp_ops=checksum_exp,
+            launches=0,
+        )
+
+    def gemm2_checksum_update_cost(self, unified: bool = True) -> KernelCost:
+        """Checksum propagation + verification for GEMM II / rescale / normalise.
+
+        The checksum accumulator O^{c1,c2} is updated (rescaled and GEMMed
+        against V's tensor checksum) every iteration; with unified
+        verification it is only *verified* once per output block, otherwise at
+        every iteration (the dominant verification term in unoptimised EFTA).
+        """
+        w = self.workload
+        s = TENSOR_CHECKSUM_WIDTH
+        # Checksum GEMM: P_ij (B x B) times V checksum (B x s) per block pair, 2 weights.
+        checksum_gemm = (
+            CHECKSUM_GEMM_UTILIZATION
+            * 2.0
+            * 2.0
+            * w.groups
+            * w.seq_len
+            * w.n_blocks
+            * w.block_size
+            * s
+        )
+        rescale_cuda = 2.0 * w.groups * w.seq_len * w.n_blocks * s
+        if unified:
+            verify_cuda = 2.0 * w.groups * w.seq_len * w.head_dim
+        else:
+            verify_cuda = 2.0 * w.groups * w.seq_len * w.head_dim * w.n_blocks
+        return KernelCost(
+            name="gemm2_checksum",
+            tensor_flops=checksum_gemm,
+            cuda_flops=rescale_cuda + verify_cuda,
+            launches=0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full schemes
+    # ------------------------------------------------------------------ #
+    def decoupled_ft_breakdown(self, track_memory: bool = False) -> CostBreakdown:
+        """Traditional operation-level protection on the decoupled pipeline."""
+        base = self.decoupled_attention_pipeline(track_memory=track_memory)
+        w = self.workload
+        protection = {
+            "qk_protection": self.traditional_abft_cost("qk"),
+            "softmax_protection": self.dmr_softmax_cost(fused=False),
+            "pv_protection": self.traditional_abft_cost("pv"),
+            # The decoupled DMR kernel also re-reads the score tensor for its
+            # duplicate pass, and checksummed operands are stored alongside the
+            # originals -- extra HBM traffic charged here.
+            "checksum_traffic": KernelCost(
+                name="checksum_traffic",
+                bytes_read=0.5 * w.score_bytes,
+                bytes_written=0.25 * w.score_bytes,
+                launches=0,
+            ),
+        }
+        return CostBreakdown(name="decoupled_ft", spec=self.spec, base=base, protection=protection)
+
+    def efta_breakdown(
+        self,
+        qk_protection: str = "strided",
+        softmax_protection: str = "snvr",
+        pv_protection: str = "strided",
+        unified_verification: bool = False,
+    ) -> CostBreakdown:
+        w = self.workload
+        """End-to-end fault tolerant attention with configurable protection.
+
+        Parameters
+        ----------
+        qk_protection, pv_protection:
+            ``"strided"`` (tensor checksum), ``"traditional"`` (element
+            checksum) or ``"none"``.
+        softmax_protection:
+            ``"snvr"``, ``"dmr"`` or ``"none"``.
+        unified_verification:
+            Use the optimised single-verification workflow of Algorithm 1
+            (EFTA-opt in Tables 1 and 2).
+        """
+        base = KernelLedger(self.spec)
+        base.add(self.flash_attention_cost())
+        protection: dict[str, KernelCost] = {}
+
+        if qk_protection == "strided":
+            protection["qk_protection"] = self.strided_abft_cost("qk")
+        elif qk_protection == "traditional":
+            protection["qk_protection"] = self.traditional_abft_cost("qk")
+        elif qk_protection != "none":
+            raise ValueError(f"unknown qk_protection {qk_protection!r}")
+
+        if softmax_protection == "snvr":
+            protection["softmax_protection"] = self.snvr_softmax_cost(unified=unified_verification)
+        elif softmax_protection == "dmr":
+            protection["softmax_protection"] = self.dmr_softmax_cost(fused=True)
+        elif softmax_protection != "none":
+            raise ValueError(f"unknown softmax_protection {softmax_protection!r}")
+
+        if pv_protection == "strided":
+            encode_v = KernelCost(
+                name="pv_protection",
+                cuda_flops=2.0 * w.groups * w.seq_len * w.head_dim,
+                launches=0,
+            )
+            pv = encode_v.merged(
+                self.gemm2_checksum_update_cost(unified=unified_verification), name="pv_protection"
+            )
+            protection["pv_protection"] = pv
+        elif pv_protection == "traditional":
+            protection["pv_protection"] = self.traditional_abft_cost("pv")
+        elif pv_protection != "none":
+            raise ValueError(f"unknown pv_protection {pv_protection!r}")
+
+        if not unified_verification and qk_protection != "none":
+            # The unoptimised workflow inserts separate CCV phases inside the
+            # inner loop (distinct GEMM-I verification plus per-iteration
+            # GEMM-II / rowsum checks); each phase drains the fused pipeline.
+            stall_cuda = (
+                EXTRA_VERIFICATION_STAGES * VERIFICATION_STAGE_STALL_FLOPS + 2.0
+            ) * w.score_elements
+            protection["per_iteration_verification"] = KernelCost(
+                name="per_iteration_verification", cuda_flops=stall_cuda, launches=0
+            )
+
+        label = "efta_optimized" if unified_verification else "efta"
+        return CostBreakdown(name=label, spec=self.spec, base=base, protection=protection)
+
+    # ------------------------------------------------------------------ #
+    # Memory footprints
+    # ------------------------------------------------------------------ #
+    def decoupled_peak_bytes(self) -> float:
+        """Peak HBM bytes of the decoupled FT pipeline (O(n^2) intermediates).
+
+        S and P both live across kernel boundaries, the DMR softmax keeps a
+        duplicate of its result for the comparison, and the encoded checksum
+        rows/columns add a small fraction on top.
+        """
+        w = self.workload
+        return 4.0 * w.qkv_bytes + 3.0 * w.score_bytes + 0.25 * w.score_bytes
+
+    def efta_peak_bytes(self) -> float:
+        """Peak HBM bytes of the fused EFTA kernel (O(n) footprint)."""
+        w = self.workload
+        checksum_bytes = 2.0 * w.groups * w.seq_len * TENSOR_CHECKSUM_WIDTH * 4
+        return 4.0 * w.qkv_bytes + checksum_bytes
+
+    def decoupled_fits_in_memory(self) -> bool:
+        """Whether the decoupled pipeline fits in the device HBM."""
+        tracker = HBMTracker(self.spec)
+        try:
+            tracker.allocate("decoupled", int(self.decoupled_peak_bytes()))
+        except OutOfMemoryError:
+            return False
+        return True

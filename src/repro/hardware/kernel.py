@@ -1,0 +1,108 @@
+"""Kernel cost records and the per-pipeline kernel ledger.
+
+A :class:`KernelCost` captures everything the roofline model needs to price a
+single kernel launch: Tensor-Core FLOPs, CUDA-core FLOPs, special-function
+(exp) operations, HBM bytes read and written, and how many launches the cost
+represents.  A :class:`KernelLedger` accumulates the costs of a whole
+pipeline (e.g. the three kernels of the decoupled baseline, or the single
+fused EFTA kernel) so that benchmarks can report both totals and per-phase
+breakdowns (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Resource consumption of one (or several identical) kernel launches."""
+
+    name: str
+    tensor_flops: float = 0.0
+    cuda_flops: float = 0.0
+    exp_ops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    launches: int = 1
+
+    @property
+    def bytes_total(self) -> float:
+        """Total HBM traffic (read + write) in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """Return a copy with every resource multiplied by ``factor``."""
+        return KernelCost(
+            name=self.name,
+            tensor_flops=self.tensor_flops * factor,
+            cuda_flops=self.cuda_flops * factor,
+            exp_ops=self.exp_ops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            launches=self.launches,
+        )
+
+    def merged(self, other: "KernelCost", name: str | None = None) -> "KernelCost":
+        """Fuse two costs into a single launch (used when work is fused into
+        one kernel: launches are *not* added, resources are)."""
+        return KernelCost(
+            name=name or self.name,
+            tensor_flops=self.tensor_flops + other.tensor_flops,
+            cuda_flops=self.cuda_flops + other.cuda_flops,
+            exp_ops=self.exp_ops + other.exp_ops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            launches=max(self.launches, other.launches),
+        )
+
+    def time_seconds(self, spec: GPUSpec) -> float:
+        """Roofline execution-time estimate of this cost on ``spec``.
+
+        Compute phases on different units (Tensor Cores, CUDA cores, SFUs)
+        overlap poorly inside a single kernel because they are data dependent
+        (GEMM -> softmax -> GEMM), so their times add; the memory phase
+        overlaps with compute, so the kernel takes the max of the two.
+        """
+        compute = (
+            self.tensor_flops / spec.effective_tensor_flops
+            + self.cuda_flops / spec.effective_cuda_flops
+            + self.exp_ops / spec.effective_exp_ops
+        )
+        memory = self.bytes_total / spec.effective_bandwidth
+        return self.launches * spec.kernel_launch_latency + max(compute, memory)
+
+
+@dataclass
+class KernelLedger:
+    """Ordered collection of kernel costs forming one execution pipeline."""
+
+    spec: GPUSpec
+    costs: list[KernelCost] = field(default_factory=list)
+
+    def add(self, cost: KernelCost) -> KernelCost:
+        """Append a kernel cost to the pipeline and return it."""
+        self.costs.append(cost)
+        return cost
+
+    def total_time(self) -> float:
+        """Sum of the roofline times of every kernel in the pipeline."""
+        return sum(c.time_seconds(self.spec) for c in self.costs)
+
+    def total_bytes(self) -> float:
+        """Total HBM traffic of the pipeline."""
+        return sum(c.bytes_total for c in self.costs)
+
+    def total_launches(self) -> int:
+        """Total number of kernel launches in the pipeline."""
+        return sum(c.launches for c in self.costs)
+
+    def time_of(self, name: str) -> float:
+        """Roofline time of the kernels whose name matches ``name``."""
+        return sum(c.time_seconds(self.spec) for c in self.costs if c.name == name)
+
+    def names(self) -> list[str]:
+        """Kernel names in pipeline order."""
+        return [c.name for c in self.costs]

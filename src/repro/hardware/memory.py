@@ -1,0 +1,96 @@
+"""HBM capacity tracking.
+
+The decoupled fault-tolerance baseline materialises the O(n^2) score and
+probability tensors in device memory; on a 40 GB A100 this runs out of memory
+at 16 K sequence length for the large-model configuration (Figure 9).  The
+:class:`HBMTracker` reproduces that behaviour: kernels register allocations
+and frees, peak usage is recorded, and exceeding capacity raises
+:class:`OutOfMemoryError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a simulated allocation exceeds the device HBM capacity."""
+
+
+@dataclass
+class Allocation:
+    """A single live allocation inside the tracker."""
+
+    name: str
+    nbytes: int
+
+
+@dataclass
+class HBMTracker:
+    """Book-keeping for simulated device-memory allocations.
+
+    Parameters
+    ----------
+    spec:
+        GPU whose capacity bounds the allocations.
+    reserved_bytes:
+        Memory assumed taken by the framework / model weights before the
+        attention kernels run (CUDA context, cuBLAS workspaces, ...).
+    """
+
+    spec: GPUSpec = A100_PCIE_40GB
+    reserved_bytes: int = 2 * 1024**3
+    _live: dict[str, Allocation] = field(default_factory=dict)
+    _peak: int = 0
+
+    def __post_init__(self) -> None:
+        self._peak = self.reserved_bytes
+
+    @property
+    def capacity(self) -> int:
+        """Total HBM capacity in bytes."""
+        return self.spec.hbm_bytes
+
+    @property
+    def in_use(self) -> int:
+        """Bytes currently allocated (including the reserved baseline)."""
+        return self.reserved_bytes + sum(a.nbytes for a in self._live.values())
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of :attr:`in_use` over the tracker's lifetime."""
+        return self._peak
+
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` under ``name``; raise on capacity exhaustion."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._live:
+            raise ValueError(f"allocation {name!r} already live")
+        projected = self.in_use + nbytes
+        if projected > self.capacity:
+            raise OutOfMemoryError(
+                f"allocating {nbytes / 1024**3:.2f} GiB for {name!r} exceeds "
+                f"{self.spec.name} capacity "
+                f"({projected / 1024**3:.2f} GiB > {self.capacity / 1024**3:.2f} GiB)"
+            )
+        alloc = Allocation(name=name, nbytes=nbytes)
+        self._live[name] = alloc
+        self._peak = max(self._peak, projected)
+        return alloc
+
+    def free(self, name: str) -> None:
+        """Release a previously allocated buffer."""
+        if name not in self._live:
+            raise KeyError(f"no live allocation named {name!r}")
+        del self._live[name]
+
+    def free_all(self) -> None:
+        """Release every live allocation (end of a kernel pipeline)."""
+        self._live.clear()
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an additional allocation of ``nbytes`` fits right now."""
+        return self.in_use + nbytes <= self.capacity

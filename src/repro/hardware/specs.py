@@ -1,0 +1,77 @@
+"""GPU device specifications used by the analytical cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU for roofline-style time estimation.
+
+    Attributes
+    ----------
+    name:
+        Human readable device name.
+    hbm_bytes:
+        Total device memory capacity in bytes (drives the OOM behaviour of
+        the decoupled baseline at 16 K sequence length).
+    hbm_bandwidth:
+        Sustained HBM bandwidth in bytes / second.
+    tensor_fp16_flops:
+        Peak FP16 Tensor-Core throughput in FLOP / s (FP32 accumulate).
+    cuda_fp32_flops:
+        Peak FP32 CUDA-core throughput in FLOP / s (element-wise work,
+        reductions, checksum verification).
+    sfu_exp_ops:
+        Special-function-unit throughput for transcendental ops (exp) in
+        op / s.  Softmax exponentiation is bound by this.
+    kernel_launch_latency:
+        Host-side latency of a kernel launch in seconds.
+    compute_efficiency:
+        Fraction of peak a well-tuned kernel sustains (attention kernels do
+        not reach peak because of the softmax phase and the online rescale).
+    bandwidth_efficiency:
+        Fraction of peak HBM bandwidth a streaming kernel sustains.
+    """
+
+    name: str
+    hbm_bytes: int
+    hbm_bandwidth: float
+    tensor_fp16_flops: float
+    cuda_fp32_flops: float
+    sfu_exp_ops: float
+    kernel_launch_latency: float = 8.0e-6
+    compute_efficiency: float = 0.55
+    bandwidth_efficiency: float = 0.80
+
+    @property
+    def effective_tensor_flops(self) -> float:
+        """Tensor-Core FLOP/s after the sustained-efficiency derating."""
+        return self.tensor_fp16_flops * self.compute_efficiency
+
+    @property
+    def effective_cuda_flops(self) -> float:
+        """CUDA-core FLOP/s after the sustained-efficiency derating."""
+        return self.cuda_fp32_flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """HBM bytes/s after the sustained-efficiency derating."""
+        return self.hbm_bandwidth * self.bandwidth_efficiency
+
+    @property
+    def effective_exp_ops(self) -> float:
+        """Special-function op/s after the sustained-efficiency derating."""
+        return self.sfu_exp_ops * self.compute_efficiency
+
+
+#: The device used throughout the paper's evaluation (Section 4).
+A100_PCIE_40GB = GPUSpec(
+    name="NVIDIA A100-PCIE-40GB",
+    hbm_bytes=40 * 1024**3,
+    hbm_bandwidth=1.555e12,
+    tensor_fp16_flops=312e12,
+    cuda_fp32_flops=19.5e12,
+    sfu_exp_ops=4.9e12,
+)

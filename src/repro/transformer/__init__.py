@@ -1,0 +1,42 @@
+"""Transformer inference substrate built on the protected kernels.
+
+The paper's Figure 15 evaluates the optimized EFTA inside full Transformer
+models (GPT2, BERT-Base, BERT-Large, T5-Small).  This package provides that
+substrate: embeddings, multi-head attention running on EFTA, feed-forward
+blocks protected by strided ABFT plus activation range restriction, layer
+normalisation, and the published architecture configurations.  Weights are
+randomly initialised -- protection overhead depends only on the architecture
+shape, not on trained parameter values.
+"""
+
+from repro.transformer.configs import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_SMALL,
+    T5_SMALL,
+    TransformerConfig,
+    model_zoo,
+)
+from repro.transformer.layers import Embedding, LayerNorm, ProtectedLinear, gelu, relu
+from repro.transformer.ffn import FeedForward
+from repro.transformer.mha import MultiHeadAttention
+from repro.transformer.model import TransformerModel
+from repro.transformer.costing import TransformerCostModel
+
+__all__ = [
+    "BERT_BASE",
+    "BERT_LARGE",
+    "GPT2_SMALL",
+    "T5_SMALL",
+    "TransformerConfig",
+    "model_zoo",
+    "Embedding",
+    "LayerNorm",
+    "ProtectedLinear",
+    "gelu",
+    "relu",
+    "FeedForward",
+    "MultiHeadAttention",
+    "TransformerModel",
+    "TransformerCostModel",
+]

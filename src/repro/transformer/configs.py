@@ -1,0 +1,103 @@
+"""Transformer architecture configurations used by the Figure-15 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture shape of a Transformer model.
+
+    Only quantities that influence compute / protection overhead are kept;
+    tokenisation details are irrelevant to the reproduction.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name (matches the paper's Figure 15 labels).
+    hidden_dim:
+        Model (embedding) dimension.
+    num_heads:
+        Attention heads per layer; the head dimension is ``hidden_dim /
+        num_heads``.
+    num_layers:
+        Number of Transformer blocks (encoder + decoder for T5).
+    ffn_dim:
+        Inner dimension of the feed-forward block.
+    vocab_size:
+        Vocabulary size (affects only the embedding / LM-head GEMMs).
+    max_seq_len:
+        Maximum sequence length the model is evaluated at (512 in Figure 15).
+    is_decoder:
+        Whether the model generates autoregressively (per-token timing) or
+        encodes the whole sequence at once.
+    """
+
+    name: str
+    hidden_dim: int
+    num_heads: int
+    num_layers: int
+    ffn_dim: int
+    vocab_size: int = 32000
+    max_seq_len: int = 512
+    is_decoder: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim % self.num_heads:
+            raise ValueError(
+                f"hidden_dim {self.hidden_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if min(self.hidden_dim, self.num_heads, self.num_layers, self.ffn_dim) <= 0:
+            raise ValueError("all architecture dimensions must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature dimension."""
+        return self.hidden_dim // self.num_heads
+
+    def scaled(self, hidden_dim: int, num_layers: int | None = None) -> "TransformerConfig":
+        """A shrunken copy for functional tests (same shape family, tiny sizes)."""
+        heads = max(1, self.num_heads * hidden_dim // self.hidden_dim)
+        while hidden_dim % heads:
+            heads -= 1
+        return TransformerConfig(
+            name=f"{self.name}-tiny",
+            hidden_dim=hidden_dim,
+            num_heads=heads,
+            num_layers=num_layers if num_layers is not None else min(2, self.num_layers),
+            ffn_dim=hidden_dim * 4,
+            vocab_size=997,
+            max_seq_len=self.max_seq_len,
+            is_decoder=self.is_decoder,
+        )
+
+
+#: GPT-2 (small): 12 layers, 768 hidden, 12 heads, autoregressive decoder.
+GPT2_SMALL = TransformerConfig(
+    name="GPT2", hidden_dim=768, num_heads=12, num_layers=12, ffn_dim=3072,
+    vocab_size=50257, is_decoder=True,
+)
+
+#: BERT-Base: 12 layers, 768 hidden, 12 heads, encoder.
+BERT_BASE = TransformerConfig(
+    name="BERT-Base", hidden_dim=768, num_heads=12, num_layers=12, ffn_dim=3072,
+    vocab_size=30522,
+)
+
+#: BERT-Large: 24 layers, 1024 hidden, 16 heads, encoder.
+BERT_LARGE = TransformerConfig(
+    name="BERT-Large", hidden_dim=1024, num_heads=16, num_layers=24, ffn_dim=4096,
+    vocab_size=30522,
+)
+
+#: T5-Small: 6 encoder + 6 decoder layers, 512 hidden, 8 heads.
+T5_SMALL = TransformerConfig(
+    name="T5-Small", hidden_dim=512, num_heads=8, num_layers=12, ffn_dim=2048,
+    vocab_size=32128, is_decoder=True,
+)
+
+
+def model_zoo() -> list[TransformerConfig]:
+    """The four models evaluated in Figure 15, in the paper's order."""
+    return [GPT2_SMALL, BERT_BASE, BERT_LARGE, T5_SMALL]

@@ -1,0 +1,194 @@
+"""Model-level cost model for Figure 15 (EFTA overhead on full Transformers).
+
+Figure 15 reports, for GPT2 / BERT-Base / BERT-Large / T5-Small at sequence
+length 512, the per-inference-step execution time, the overhead of running the
+optimized EFTA's error *detection* machinery, and the additional overhead of
+error *correction* when one bit flip is injected per attention computation.
+
+The model composes, per layer, the roofline costs of the QKV projections, the
+fused protected attention, the output projection, the feed-forward GEMMs and
+the normalisation, and adds the protection terms (strided ABFT on every linear
+GEMM, EFTA's hybrid protection inside attention, activation range
+restriction).  Per-token generation at batch 1 utilises an A100 poorly, so a
+dedicated (lower) efficiency factor and per-kernel launch accounting are
+applied; these are calibrated so the *unprotected* GPT2 step lands near the
+paper's ~5.6 ms, while the reproduction targets remain the relative overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+from repro.hardware.kernel import KernelCost, KernelLedger
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+from repro.transformer.configs import TransformerConfig
+
+#: Sustained fraction of peak Tensor-Core throughput during batch-1,
+#: short-sequence inference (small GEMMs, launch-bound pipeline).
+SMALL_BATCH_EFFICIENCY = 0.06
+
+#: Kernel launches per Transformer block during inference (QKV, attention,
+#: output projection, two FFN GEMMs, two layer norms, residual adds, ...).
+LAUNCHES_PER_BLOCK = 10
+
+
+@dataclass
+class ModelCostReport:
+    """Simulated timings of one inference step for one model."""
+
+    name: str
+    base_time: float
+    detection_time: float
+    correction_time: float
+
+    @property
+    def detection_overhead(self) -> float:
+        """Error-detection overhead as a fraction of the unprotected time."""
+        return (self.detection_time - self.base_time) / self.base_time
+
+    @property
+    def correction_overhead(self) -> float:
+        """Error-correction overhead (detection + repair) as a fraction of base."""
+        return (self.correction_time - self.base_time) / self.base_time
+
+
+class TransformerCostModel:
+    """Roofline cost of protected Transformer inference (Figure 15)."""
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        seq_len: int = 512,
+        batch: int = 1,
+        spec: GPUSpec = A100_PCIE_40GB,
+        attention_block_size: int = 128,
+    ):
+        self.config = config
+        self.seq_len = seq_len
+        self.batch = batch
+        self.attention_block_size = attention_block_size
+        # Derate the device for the batch-1 inference regime.
+        self.spec = GPUSpec(
+            name=spec.name,
+            hbm_bytes=spec.hbm_bytes,
+            hbm_bandwidth=spec.hbm_bandwidth,
+            tensor_fp16_flops=spec.tensor_fp16_flops,
+            cuda_fp32_flops=spec.cuda_fp32_flops,
+            sfu_exp_ops=spec.sfu_exp_ops,
+            kernel_launch_latency=spec.kernel_launch_latency,
+            compute_efficiency=SMALL_BATCH_EFFICIENCY,
+            bandwidth_efficiency=spec.bandwidth_efficiency,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _linear_cost(self, name: str, in_dim: int, out_dim: int) -> KernelCost:
+        """Roofline cost of one dense GEMM of the block (tokens x in -> out)."""
+        tokens = self.batch * self.seq_len
+        bytes_per = 2
+        return KernelCost(
+            name=name,
+            tensor_flops=2.0 * tokens * in_dim * out_dim,
+            bytes_read=(tokens * in_dim + in_dim * out_dim) * bytes_per,
+            bytes_written=tokens * out_dim * bytes_per,
+            launches=1,
+        )
+
+    def _linear_protection_cost(self, name: str, in_dim: int, out_dim: int, stride: int = 8) -> KernelCost:
+        """Strided-ABFT cost of one dense GEMM: checksum GEMM + verification."""
+        tokens = self.batch * self.seq_len
+        checksum_gemm = 0.5 * 2.0 * 2.0 * tokens * in_dim * stride
+        verify_cuda = 1.0 * tokens * out_dim
+        return KernelCost(name=name, tensor_flops=checksum_gemm, cuda_flops=verify_cuda, launches=0)
+
+    def _attention_workload(self) -> AttentionWorkload:
+        return AttentionWorkload(
+            batch=self.batch,
+            heads=self.config.num_heads,
+            seq_len=self.seq_len,
+            head_dim=self.config.head_dim,
+            block_size=self.attention_block_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    def base_ledger(self) -> KernelLedger:
+        """Unprotected inference-step cost: all blocks plus normalisation work."""
+        cfg = self.config
+        ledger = KernelLedger(self.spec)
+        attention_model = AttentionCostModel(self._attention_workload(), self.spec)
+        tokens = self.batch * self.seq_len
+        for _ in range(cfg.num_layers):
+            ledger.add(self._linear_cost("qkv_proj", cfg.hidden_dim, 3 * cfg.hidden_dim))
+            ledger.add(attention_model.flash_attention_cost())
+            ledger.add(self._linear_cost("out_proj", cfg.hidden_dim, cfg.hidden_dim))
+            ledger.add(self._linear_cost("ffn_in", cfg.hidden_dim, cfg.ffn_dim))
+            ledger.add(self._linear_cost("ffn_out", cfg.ffn_dim, cfg.hidden_dim))
+            ledger.add(
+                KernelCost(
+                    name="norms_residuals",
+                    cuda_flops=10.0 * tokens * cfg.hidden_dim,
+                    bytes_read=4.0 * tokens * cfg.hidden_dim * 2,
+                    bytes_written=2.0 * tokens * cfg.hidden_dim * 2,
+                    launches=LAUNCHES_PER_BLOCK - 6,
+                )
+            )
+        return ledger
+
+    def protection_costs(self) -> list[KernelCost]:
+        """Per-step protection work: EFTA inside attention + ABFT on every linear."""
+        cfg = self.config
+        attention_model = AttentionCostModel(self._attention_workload(), self.spec)
+        efta = attention_model.efta_breakdown(unified_verification=True)
+        costs: list[KernelCost] = []
+        tokens = self.batch * self.seq_len
+        for _ in range(cfg.num_layers):
+            costs.extend(efta.protection.values())
+            costs.append(self._linear_protection_cost("qkv_abft", cfg.hidden_dim, 3 * cfg.hidden_dim))
+            costs.append(self._linear_protection_cost("out_abft", cfg.hidden_dim, cfg.hidden_dim))
+            costs.append(self._linear_protection_cost("ffn_in_abft", cfg.hidden_dim, cfg.ffn_dim))
+            costs.append(self._linear_protection_cost("ffn_out_abft", cfg.ffn_dim, cfg.hidden_dim))
+            costs.append(
+                KernelCost(name="activation_restriction", cuda_flops=2.0 * tokens * cfg.ffn_dim, launches=0)
+            )
+        return costs
+
+    def correction_costs(self, faults_per_attention: int = 1) -> list[KernelCost]:
+        """Extra work to *correct* injected faults (one per attention by default).
+
+        Correcting a fault re-runs the verification of the affected block,
+        recomputes the corrupted stride class (or re-executes the block's
+        exponentiation) and re-synchronises the pipeline; this is charged as
+        one extra block iteration of the fused kernel per fault.
+        """
+        w = self._attention_workload()
+        block_iterations = max(1, w.n_blocks)
+        attention_model = AttentionCostModel(w, self.spec)
+        per_attention = attention_model.flash_attention_cost().scaled(1.0 / block_iterations)
+        costs = []
+        for _ in range(self.config.num_layers):
+            for _ in range(faults_per_attention):
+                costs.append(
+                    KernelCost(
+                        name="fault_correction",
+                        tensor_flops=per_attention.tensor_flops,
+                        cuda_flops=2.0 * per_attention.cuda_flops,
+                        exp_ops=per_attention.exp_ops,
+                        launches=0,
+                    )
+                )
+        return costs
+
+    # ------------------------------------------------------------------ #
+    def report(self, faults_per_attention: int = 1) -> ModelCostReport:
+        """Simulated base / detection / correction times for this model."""
+        base = self.base_ledger().total_time()
+        detection = base + sum(c.time_seconds(self.spec) for c in self.protection_costs())
+        correction = detection + sum(
+            c.time_seconds(self.spec) for c in self.correction_costs(faults_per_attention)
+        )
+        return ModelCostReport(
+            name=self.config.name,
+            base_time=base,
+            detection_time=detection,
+            correction_time=correction,
+        )

@@ -1,0 +1,99 @@
+"""Multi-head attention module running on end-to-end fault tolerant attention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.tiling import merge_heads, split_heads
+from repro.core.config import AttentionConfig, FaultToleranceReport
+from repro.core.efta import EFTAttention
+from repro.core.efta_optimized import EFTAttentionOptimized
+from repro.fault.injector import FaultInjector
+from repro.transformer.layers import ProtectedLinear
+
+
+class MultiHeadAttention:
+    """QKV projection + EFTA + output projection, all under ABFT protection.
+
+    Parameters
+    ----------
+    hidden_dim, num_heads:
+        Model shape; the head dimension is ``hidden_dim / num_heads``.
+    seq_len:
+        Maximum sequence length (sizes the attention configuration).
+    attention_block_size:
+        Block size of the fused attention kernel.
+    unified_verification:
+        Use the optimized EFTA (single verification per output block).
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        seq_len: int,
+        rng: np.random.Generator,
+        attention_block_size: int = 128,
+        unified_verification: bool = True,
+        checksum_stride: int = 8,
+    ):
+        if hidden_dim % num_heads:
+            raise ValueError("hidden_dim must be divisible by num_heads")
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.q_proj = ProtectedLinear(hidden_dim, hidden_dim, rng, checksum_stride=checksum_stride)
+        self.k_proj = ProtectedLinear(hidden_dim, hidden_dim, rng, checksum_stride=checksum_stride)
+        self.v_proj = ProtectedLinear(hidden_dim, hidden_dim, rng, checksum_stride=checksum_stride)
+        self.out_proj = ProtectedLinear(hidden_dim, hidden_dim, rng, checksum_stride=checksum_stride)
+        config = AttentionConfig(
+            seq_len=seq_len,
+            head_dim=self.head_dim,
+            block_size=attention_block_size,
+            checksum_stride=checksum_stride,
+        )
+        attention_cls = EFTAttentionOptimized if unified_verification else EFTAttention
+        self.attention = attention_cls(config)
+
+    def __call__(
+        self,
+        x: np.ndarray,
+        injector: FaultInjector | None = None,
+        report: FaultToleranceReport | None = None,
+        protected: bool = True,
+    ) -> np.ndarray:
+        """Apply self-attention to ``x`` of shape ``(batch, seq_len, hidden_dim)``."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 3:
+            raise ValueError("expected input of shape (batch, seq_len, hidden_dim)")
+        q = self.q_proj(x, injector=injector, protected=protected)
+        k = self.k_proj(x, injector=injector, protected=protected)
+        v = self.v_proj(x, injector=injector, protected=protected)
+        for proj, stage in ((self.q_proj, "q_proj"), (self.k_proj, "k_proj"), (self.v_proj, "v_proj")):
+            self._record(proj, report, stage)
+
+        qh = split_heads(q, self.num_heads)
+        kh = split_heads(k, self.num_heads)
+        vh = split_heads(v, self.num_heads)
+        if protected:
+            out_heads, attn_report = self.attention(qh, kh, vh, injector=injector)
+            if report is not None:
+                report.merge(attn_report)
+        else:
+            from repro.attention.flash import flash_attention
+
+            out_heads = flash_attention(
+                qh, kh, vh, block_size=self.attention.config.block_size, mixed_precision=True
+            )
+        out = merge_heads(out_heads)
+        projected = self.out_proj(out, injector=injector, protected=protected)
+        self._record(self.out_proj, report, "out_proj")
+        return projected
+
+    @staticmethod
+    def _record(layer: ProtectedLinear, report: FaultToleranceReport | None, stage: str) -> None:
+        if report is None or layer.last_verdict is None:
+            return
+        report.record_detection(stage, layer.last_verdict.detected)
+        report.record_correction(stage, layer.last_verdict.corrected)
+        report.record_uncorrectable(stage, layer.last_verdict.uncorrectable)

@@ -1,0 +1,63 @@
+"""Tests for the analysis helpers and report formatting."""
+
+import pytest
+
+from repro.analysis.overhead import geometric_mean, overhead_percent, scaled_series, speedup
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestOverheadHelpers:
+    def test_overhead_percent(self):
+        assert overhead_percent(1.15, 1.0) == pytest.approx(15.0)
+
+    def test_overhead_percent_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_percent(1.0, 0.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_speedup_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_scaled_series_default_reference(self):
+        assert scaled_series([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
+
+    def test_scaled_series_explicit_reference(self):
+        assert scaled_series([2.0, 4.0], reference=4.0) == [0.5, 1.0]
+
+    def test_scaled_series_empty(self):
+        assert scaled_series([]) == []
+
+    def test_scaled_series_invalid_reference(self):
+        with pytest.raises(ValueError):
+            scaled_series([1.0], reference=0.0)
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text
+        assert "2.500" in text
+        assert "x" in text
+        assert text.splitlines()[1].startswith("a")
+
+    def test_format_table_alignment(self):
+        text = format_table(["col"], [["longvalue"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("longvalue")
+
+    def test_format_series(self):
+        text = format_series("speedup", [512, 1024], [4.0, 4.5])
+        assert text.startswith("speedup:")
+        assert "512=4" in text

@@ -1,0 +1,142 @@
+"""Tests for the standard attention oracle and the flash-style tiled attention."""
+
+import numpy as np
+import pytest
+
+from repro.attention.flash import flash_attention
+from repro.attention.standard import standard_attention
+from repro.attention.softmax import stable_softmax
+
+
+class TestStandardAttention:
+    def test_matches_manual_computation(self, rng):
+        q = rng.standard_normal((6, 4)).astype(np.float32)
+        k = rng.standard_normal((6, 4)).astype(np.float32)
+        v = rng.standard_normal((6, 4)).astype(np.float32)
+        scale = 1 / np.sqrt(4)
+        expected = stable_softmax(q @ k.T * scale) @ v
+        np.testing.assert_allclose(standard_attention(q, k, v), expected, rtol=1e-5, atol=1e-6)
+
+    def test_custom_scale(self, rng):
+        q = rng.standard_normal((4, 4)).astype(np.float32)
+        k = rng.standard_normal((4, 4)).astype(np.float32)
+        v = rng.standard_normal((4, 4)).astype(np.float32)
+        out1 = standard_attention(q, k, v, scale=0.1)
+        out2 = standard_attention(q, k, v, scale=1.0)
+        assert not np.allclose(out1, out2)
+
+    def test_batched_shapes(self, qkv):
+        q, k, v = qkv
+        out = standard_attention(q, k, v)
+        assert out.shape == q.shape
+
+    def test_cross_attention_shapes(self, rng):
+        q = rng.standard_normal((5, 8)).astype(np.float32)
+        k = rng.standard_normal((9, 8)).astype(np.float32)
+        v = rng.standard_normal((9, 8)).astype(np.float32)
+        assert standard_attention(q, k, v).shape == (5, 8)
+
+    def test_head_dim_mismatch_rejected(self, rng):
+        q = rng.standard_normal((4, 8)).astype(np.float32)
+        k = rng.standard_normal((4, 6)).astype(np.float32)
+        v = rng.standard_normal((4, 6)).astype(np.float32)
+        with pytest.raises(ValueError):
+            standard_attention(q, k, v)
+
+    def test_kv_length_mismatch_rejected(self, rng):
+        q = rng.standard_normal((4, 8)).astype(np.float32)
+        k = rng.standard_normal((6, 8)).astype(np.float32)
+        v = rng.standard_normal((5, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            standard_attention(q, k, v)
+
+    def test_attention_rows_are_convex_combinations(self, rng):
+        # Each output row is a convex combination of value rows, so it stays
+        # within the per-feature min/max of V.
+        q = rng.standard_normal((8, 16)).astype(np.float32)
+        k = rng.standard_normal((8, 16)).astype(np.float32)
+        v = rng.standard_normal((8, 16)).astype(np.float32)
+        out = standard_attention(q, k, v)
+        assert np.all(out <= v.max(axis=0) + 1e-5)
+        assert np.all(out >= v.min(axis=0) - 1e-5)
+
+    def test_mixed_precision_close_to_fp32(self, rng):
+        q = rng.standard_normal((16, 32)).astype(np.float32)
+        k = rng.standard_normal((16, 32)).astype(np.float32)
+        v = rng.standard_normal((16, 32)).astype(np.float32)
+        a = standard_attention(q, k, v)
+        b = standard_attention(q, k, v, mixed_precision=True)
+        np.testing.assert_allclose(a, b, rtol=5e-3, atol=5e-3)
+
+
+class TestFlashAttention:
+    @pytest.mark.parametrize("block_size", [8, 16, 32, 96, 128])
+    def test_matches_standard_attention(self, single_head_qkv, block_size):
+        q, k, v = single_head_qkv
+        expected = standard_attention(q, k, v)
+        out = flash_attention(q, k, v, block_size=block_size)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_batched_matches_standard(self, qkv):
+        q, k, v = qkv
+        np.testing.assert_allclose(
+            flash_attention(q, k, v, block_size=32),
+            standard_attention(q, k, v),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_block_size_larger_than_sequence(self, single_head_qkv):
+        q, k, v = single_head_qkv
+        out = flash_attention(q, k, v, block_size=1024)
+        np.testing.assert_allclose(out, standard_attention(q, k, v), rtol=1e-4, atol=1e-5)
+
+    def test_ragged_block_sizes(self, rng):
+        q = rng.standard_normal((50, 16)).astype(np.float32)
+        k = rng.standard_normal((50, 16)).astype(np.float32)
+        v = rng.standard_normal((50, 16)).astype(np.float32)
+        out = flash_attention(q, k, v, block_size=16)
+        np.testing.assert_allclose(out, standard_attention(q, k, v), rtol=1e-4, atol=1e-5)
+
+    def test_mixed_precision_mode(self, single_head_qkv):
+        q, k, v = single_head_qkv
+        out = flash_attention(q, k, v, block_size=32, mixed_precision=True)
+        np.testing.assert_allclose(out, standard_attention(q, k, v), rtol=2e-2, atol=2e-2)
+
+    def test_mismatched_leading_dims_rejected(self, rng):
+        q = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        k = rng.standard_normal((3, 8, 4)).astype(np.float32)
+        v = rng.standard_normal((3, 8, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v)
+
+
+class TestTilingHelpers:
+    def test_split_and_merge_heads_round_trip(self, rng):
+        from repro.attention.tiling import merge_heads, split_heads
+
+        x = rng.standard_normal((2, 10, 24)).astype(np.float32)
+        heads = split_heads(x, 4)
+        assert heads.shape == (2, 4, 10, 6)
+        np.testing.assert_array_equal(merge_heads(heads), x)
+
+    def test_split_heads_invalid_divisor(self, rng):
+        from repro.attention.tiling import split_heads
+
+        with pytest.raises(ValueError):
+            split_heads(rng.standard_normal((1, 4, 10)), 3)
+
+    def test_num_blocks_and_partition(self):
+        from repro.attention.tiling import num_blocks, partition_blocks
+
+        assert num_blocks(100, 32) == 4
+        blocks = list(partition_blocks(100, 32))
+        assert blocks[0] == slice(0, 32)
+        assert blocks[-1] == slice(96, 100)
+        assert sum(b.stop - b.start for b in blocks) == 100
+
+    def test_num_blocks_invalid(self):
+        from repro.attention.tiling import num_blocks
+
+        with pytest.raises(ValueError):
+            num_blocks(10, 0)

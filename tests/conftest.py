@@ -1,0 +1,40 @@
+"""Shared fixtures for the FT-Transformer reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AttentionConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for test inputs."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> AttentionConfig:
+    """A small attention configuration exercising multiple blocks."""
+    return AttentionConfig(seq_len=96, head_dim=32, block_size=32)
+
+
+@pytest.fixture
+def qkv(rng, small_config):
+    """Random (batch, heads, seq, dim) query/key/value tensors."""
+    shape = (2, 2, small_config.seq_len, small_config.head_dim)
+    q = rng.standard_normal(shape).astype(np.float32)
+    k = rng.standard_normal(shape).astype(np.float32)
+    v = rng.standard_normal(shape).astype(np.float32)
+    return q, k, v
+
+
+@pytest.fixture
+def single_head_qkv(rng, small_config):
+    """Random single-problem (seq, dim) query/key/value tensors."""
+    shape = (small_config.seq_len, small_config.head_dim)
+    q = rng.standard_normal(shape).astype(np.float32)
+    k = rng.standard_normal(shape).astype(np.float32)
+    v = rng.standard_normal(shape).astype(np.float32)
+    return q, k, v

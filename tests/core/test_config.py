@@ -1,0 +1,82 @@
+"""Tests for the attention configuration and the fault-tolerance report."""
+
+import pytest
+
+from repro.core.config import AttentionConfig, FaultToleranceReport
+from repro.fault.models import FaultSite, InjectionRecord
+
+
+class TestAttentionConfig:
+    def test_default_scale_is_inverse_sqrt_dim(self):
+        cfg = AttentionConfig(seq_len=128, head_dim=64)
+        assert cfg.effective_scale == pytest.approx(64**-0.5)
+
+    def test_explicit_scale(self):
+        cfg = AttentionConfig(seq_len=128, head_dim=64, scale=0.5)
+        assert cfg.effective_scale == 0.5
+
+    def test_n_blocks_rounds_up(self):
+        cfg = AttentionConfig(seq_len=130, head_dim=64, block_size=64)
+        assert cfg.n_blocks == 3
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionConfig(seq_len=0, head_dim=64)
+        with pytest.raises(ValueError):
+            AttentionConfig(seq_len=64, head_dim=64, block_size=0)
+        with pytest.raises(ValueError):
+            AttentionConfig(seq_len=64, head_dim=64, checksum_stride=0)
+
+    def test_config_is_frozen(self):
+        cfg = AttentionConfig(seq_len=64, head_dim=32)
+        with pytest.raises(AttributeError):
+            cfg.seq_len = 128
+
+
+class TestFaultToleranceReport:
+    def test_empty_report_is_clean(self):
+        report = FaultToleranceReport()
+        assert report.clean
+        assert not report.detected_any
+        assert report.total_detections == 0
+        assert report.total_corrections == 0
+
+    def test_recording(self):
+        report = FaultToleranceReport()
+        report.record_detection("gemm_qk", 2)
+        report.record_correction("gemm_qk", 1)
+        report.record_recomputation("exp", 1)
+        report.record_restoration("rowsum", 3)
+        report.record_uncorrectable("output", 1)
+        assert report.total_detections == 2
+        assert report.total_corrections == 5
+        assert report.detections["gemm_qk"] == 2
+        assert not report.clean
+
+    def test_zero_counts_not_recorded(self):
+        report = FaultToleranceReport()
+        report.record_detection("x", 0)
+        assert "x" not in report.detections
+        assert report.clean
+
+    def test_merge(self):
+        a = FaultToleranceReport()
+        a.record_detection("gemm_qk", 1)
+        b = FaultToleranceReport()
+        b.record_detection("gemm_qk", 2)
+        b.record_correction("output", 1)
+        b.injected.append(
+            InjectionRecord(FaultSite.GEMM_QK, None, (0, 0), 3, 1.0, 2.0)
+        )
+        a.merge(b)
+        assert a.detections["gemm_qk"] == 3
+        assert a.corrections["output"] == 1
+        assert len(a.injected) == 1
+
+    def test_summary_mentions_counts(self):
+        report = FaultToleranceReport()
+        report.record_detection("gemm_qk", 1)
+        report.record_correction("gemm_qk", 1)
+        text = report.summary()
+        assert "detections=1" in text
+        assert "corrections=1" in text

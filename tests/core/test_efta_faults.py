@@ -1,0 +1,181 @@
+"""Fault-injection behaviour of EFTA: every site of Algorithm 1 is exercised."""
+
+import numpy as np
+import pytest
+
+from repro.attention.standard import standard_attention
+from repro.core.config import AttentionConfig
+from repro.core.efta import EFTAttention
+from repro.core.efta_optimized import EFTAttentionOptimized
+from repro.fault.injector import FaultInjector
+from repro.fault.models import FaultSite
+
+VARIANTS = [EFTAttention, EFTAttentionOptimized]
+
+
+@pytest.fixture(params=VARIANTS, ids=["efta", "efta_optimized"])
+def efta_cls(request):
+    return request.param
+
+
+@pytest.fixture
+def problem(rng):
+    q = rng.standard_normal((96, 32)).astype(np.float32)
+    k = rng.standard_normal((96, 32)).astype(np.float32)
+    v = rng.standard_normal((96, 32)).astype(np.float32)
+    cfg = AttentionConfig(seq_len=96, head_dim=32, block_size=32)
+    return q, k, v, cfg, standard_attention(q, k, v)
+
+
+class TestGemmIFaults:
+    def test_exponent_flip_detected_and_corrected(self, efta_cls, problem):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.GEMM_QK, seed=3, bit=13, dtype="fp16", block=(0, 1)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert injector.applied_count == 1
+        assert report.detected_any
+        assert report.total_corrections >= 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+    def test_sign_flip_corrected(self, efta_cls, problem):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.GEMM_QK, seed=5, bit=15, dtype="fp16", block=(1, 0)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert report.detections["exp_product"] >= 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+    def test_negligible_flip_harmless(self, efta_cls, problem):
+        # A flip in the lowest mantissa bit is below the detection threshold
+        # and below any meaningful accuracy impact.
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.GEMM_QK, seed=7, bit=0, dtype="fp16", block=(0, 0)
+        )
+        out, _ = efta_cls(cfg)(q, k, v, injector=injector)
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+
+class TestExpFaults:
+    def test_exp_error_detected_and_recomputed(self, efta_cls, problem):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.SUBTRACT_EXP, seed=7, bit=14, dtype="fp16", block=(0, 0)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert report.detections["exp_product"] >= 1
+        assert report.recomputations["exp"] >= 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+    def test_exp_error_in_last_block(self, efta_cls, problem):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.SUBTRACT_EXP, seed=9, bit=13, dtype="fp16", block=(2, 2)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert report.total_corrections >= 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+
+class TestReduceMaxFaults:
+    def test_moderate_max_error_cancels(self, efta_cls, problem):
+        # SNVR case 1: a corrupted running maximum cancels between numerator
+        # and denominator, so the output is unchanged without any correction.
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.REDUCE_MAX, seed=11, bit=6, dtype="fp16", block=(0, 1)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert injector.applied_count == 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+        assert report.total_corrections == 0
+
+    def test_catastrophic_max_error_is_at_least_flagged(self, efta_cls, problem):
+        # A corruption that underflows every exponential of a row cannot be
+        # repaired by the design, but the rowsum restriction flags it.
+        q, k, v, cfg, _ = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.REDUCE_MAX, seed=5, bit=13, dtype="fp16", block=(0, 1), index=(21,)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        record = report.injected[0]
+        if record.corrupted > record.original and record.corrupted > 100:
+            assert report.detections["rowsum"] >= 1
+        assert np.all(np.isfinite(out))
+
+
+class TestReduceSumFaults:
+    def test_out_of_range_rowsum_restored(self, efta_cls, problem):
+        q, k, v, cfg, _ = problem
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.REDUCE_SUM, seed=13, bit=29, dtype="fp32", block=(0, 0)
+        )
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert report.detections["rowsum"] >= 1
+        assert report.restorations["rowsum"] >= 1
+        assert np.all(np.isfinite(out))
+
+    def test_per_iteration_restriction_bounds_error_tighter(self, problem):
+        # The unoptimised variant checks the normaliser every iteration and
+        # therefore contains the error at least as well as the deferred check.
+        q, k, v, cfg, reference = problem
+
+        def run(cls):
+            injector = FaultInjector.single_bit_flip(
+                FaultSite.REDUCE_SUM, seed=11, bit=29, dtype="fp32", block=(0, 0)
+            )
+            out, _ = cls(cfg)(q, k, v, injector=injector)
+            return np.abs(out - reference).max()
+
+        assert run(EFTAttention) <= run(EFTAttentionOptimized) + 1e-3
+
+
+class TestOutputPathFaults:
+    @pytest.mark.parametrize(
+        "site,block",
+        [
+            (FaultSite.GEMM_PV, (0, 1)),
+            # The rescale of the very first iteration multiplies an all-zero
+            # accumulator, so target the second iteration where it matters.
+            (FaultSite.RESCALE, (0, 1)),
+            (FaultSite.NORMALIZE, None),
+        ],
+    )
+    def test_output_fault_detected_and_corrected(self, efta_cls, problem, site, block):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(site, seed=17, bit=27, dtype="fp32", block=block)
+        out, report = efta_cls(cfg)(q, k, v, injector=injector)
+        assert report.detected_any
+        assert report.total_corrections >= 1
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+    def test_small_accumulator_error_is_benign(self, efta_cls, problem):
+        q, k, v, cfg, reference = problem
+        injector = FaultInjector.single_bit_flip(FaultSite.GEMM_PV, seed=19, bit=5, dtype="fp32")
+        out, _ = efta_cls(cfg)(q, k, v, injector=injector)
+        np.testing.assert_allclose(out, reference, rtol=1e-2, atol=1e-2)
+
+
+class TestSEUAssumption:
+    def test_one_fault_per_run_only(self, efta_cls, problem):
+        q, k, v, cfg, _ = problem
+        injector = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=23, bit=13)
+        efta = efta_cls(cfg)
+        _, report_first = efta(q, k, v, injector=injector)
+        assert len(report_first.injected) == 1
+        # Re-using the spent injector injects nothing further.
+        _, report_second = efta(q, k, v, injector=injector)
+        assert len(report_second.injected) == 0
+        assert report_second.clean
+
+    def test_reset_allows_new_campaign_trial(self, efta_cls, problem):
+        q, k, v, cfg, _ = problem
+        injector = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=29, bit=13)
+        efta = efta_cls(cfg)
+        efta(q, k, v, injector=injector)
+        injector.reset()
+        _, report = efta(q, k, v, injector=injector)
+        assert len(report.injected) == 1

@@ -1,0 +1,126 @@
+"""Tests for selective neuron value restriction."""
+
+import numpy as np
+import pytest
+
+from repro.core.snvr import (
+    exp_checksum_propagate,
+    restrict_rowsum,
+    strided_products,
+    traditional_restriction,
+    verify_exp_products,
+)
+
+
+class TestExpChecksumPropagation:
+    def test_checksum_equals_product_of_probabilities(self, rng):
+        # exp(sum of strided scores - count*max) == product of strided probs.
+        scores = rng.standard_normal((6, 24)).astype(np.float32)
+        row_max = scores.max(axis=1)
+        from repro.gemm.checksum import strided_sums
+        from repro.core.strided_abft import stride_class_counts
+
+        check1, _ = strided_sums(scores, 8)
+        counts = stride_class_counts(24, 8)
+        propagated = exp_checksum_propagate(check1, row_max, counts)
+        probs = np.exp(scores - row_max[:, None])
+        np.testing.assert_allclose(propagated, strided_products(probs, 8), rtol=1e-5)
+
+    def test_strided_products_shape_and_padding(self, rng):
+        p = rng.random((4, 11)).astype(np.float32)
+        prods = strided_products(p, 8)
+        assert prods.shape == (4, 8)
+        # Classes beyond the tail see only the first group.
+        np.testing.assert_allclose(prods[:, 3:8], p[:, 3:8], rtol=1e-6)
+
+    def test_verify_exp_products_clean(self, rng):
+        scores = rng.standard_normal((6, 32)).astype(np.float32)
+        row_max = scores.max(axis=1)
+        from repro.gemm.checksum import strided_sums
+        from repro.core.strided_abft import stride_class_counts
+
+        check1, _ = strided_sums(scores, 8)
+        propagated = exp_checksum_propagate(check1, row_max, stride_class_counts(32, 8))
+        probs = np.exp(scores - row_max[:, None])
+        assert not verify_exp_products(probs, propagated, 8, rtol=0.05).any()
+
+    def test_verify_exp_products_flags_corruption(self, rng):
+        scores = rng.standard_normal((6, 32)).astype(np.float32)
+        row_max = scores.max(axis=1)
+        from repro.gemm.checksum import strided_sums
+        from repro.core.strided_abft import stride_class_counts
+
+        check1, _ = strided_sums(scores, 8)
+        propagated = exp_checksum_propagate(check1, row_max, stride_class_counts(32, 8))
+        probs = np.exp(scores - row_max[:, None])
+        probs[3, 17] *= 4.0
+        mask = verify_exp_products(probs, propagated, 8, rtol=0.05)
+        assert mask[3, 17 % 8]
+        assert mask.sum() == 1
+
+
+class TestRowsumRestriction:
+    def test_values_in_range_untouched(self):
+        rowsum = np.array([2.0, 3.0, 4.0], dtype=np.float32)
+        lower = np.ones(3, dtype=np.float32)
+        restored, n = restrict_rowsum(rowsum, lower, upper_bound=10.0)
+        assert n == 0
+        np.testing.assert_array_equal(restored, rowsum)
+
+    def test_below_lower_bound_restored(self):
+        rowsum = np.array([0.5, 3.0], dtype=np.float32)
+        lower = np.array([1.2, 1.0], dtype=np.float32)
+        restored, n = restrict_rowsum(rowsum, lower, upper_bound=10.0)
+        assert n == 1
+        assert restored[0] == pytest.approx(1.2)
+        assert restored[1] == 3.0
+
+    def test_above_upper_bound_restored(self):
+        rowsum = np.array([50.0, 3.0], dtype=np.float32)
+        lower = np.array([1.0, 1.0], dtype=np.float32)
+        restored, n = restrict_rowsum(rowsum, lower, upper_bound=10.0)
+        assert n == 1
+        assert restored[0] == pytest.approx(1.0)
+
+    def test_non_finite_restored(self):
+        rowsum = np.array([np.nan, np.inf, 2.0], dtype=np.float32)
+        lower = np.array([1.0, 1.0, 1.0], dtype=np.float32)
+        restored, n = restrict_rowsum(rowsum, lower, upper_bound=10.0)
+        assert n == 2
+        assert np.all(np.isfinite(restored))
+
+    def test_zero_rowsum_always_flagged(self):
+        # The normaliser is theoretically >= exp(0) = 1, so an underflowed
+        # zero is flagged even if the computed lower bound also underflowed.
+        rowsum = np.array([0.0], dtype=np.float32)
+        lower = np.array([0.0], dtype=np.float32)
+        _, n = restrict_rowsum(rowsum, lower, upper_bound=10.0)
+        assert n == 1
+
+    def test_original_array_not_modified(self):
+        rowsum = np.array([50.0], dtype=np.float32)
+        restored, _ = restrict_rowsum(rowsum, np.array([1.0], dtype=np.float32), 10.0)
+        assert rowsum[0] == 50.0
+        assert restored is not rowsum
+
+
+class TestTraditionalRestriction:
+    def test_clamps_out_of_range(self):
+        probs = np.array([[0.5, 1.5, -0.2]], dtype=np.float32)
+        clipped, changed = traditional_restriction(probs)
+        np.testing.assert_array_equal(clipped, [[0.5, 1.0, 0.0]])
+        assert changed == 2
+
+    def test_in_range_untouched(self, rng):
+        probs = rng.random((4, 4)).astype(np.float32)
+        clipped, changed = traditional_restriction(probs)
+        assert changed == 0
+        np.testing.assert_array_equal(clipped, probs)
+
+    def test_cannot_fix_consistent_denominator_error(self):
+        # A corrupted normaliser that keeps probabilities inside [0, 1] passes
+        # the traditional restriction untouched -- the motivation for SNVR.
+        probs = np.full((1, 4), 0.25, dtype=np.float32) * 0.5  # halved rowsum error
+        clipped, changed = traditional_restriction(probs)
+        assert changed == 0
+        assert clipped.sum() == pytest.approx(0.5)

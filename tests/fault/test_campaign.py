@@ -1,0 +1,98 @@
+"""Tests for the Monte-Carlo fault-injection campaigns (small trial counts)."""
+
+import numpy as np
+import pytest
+
+from repro.fault.campaign import (
+    abft_detection_sweep,
+    abft_error_coverage,
+    restriction_error_distribution,
+    snvr_detection_sweep,
+)
+
+
+class TestABFTErrorCoverage:
+    def test_tensor_checksum_covers_more_than_element(self):
+        # Figure 12 (left): the 8-wide strided checksum corrects far more
+        # fault events than the traditional single-column checksum.
+        tensor = abft_error_coverage(1e-7, n_trials=15, scheme="tensor", seed=1)
+        element = abft_error_coverage(1e-7, n_trials=15, scheme="element", seed=1)
+        assert tensor.coverage > element.coverage + 0.2
+        assert tensor.coverage > 0.5
+
+    def test_coverage_defined_even_at_tiny_rate(self):
+        result = abft_error_coverage(1e-9, n_trials=5, scheme="tensor", seed=2)
+        assert 0.0 <= result.coverage <= 1.0
+        assert all(o.injected >= 1 for o in result.outcomes)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            abft_error_coverage(1e-7, scheme="bogus")
+
+    def test_trial_count_respected(self):
+        result = abft_error_coverage(1e-7, n_trials=7, scheme="element", seed=3)
+        assert result.n_trials == 7
+
+
+class TestDetectionSweeps:
+    def test_abft_detection_monotonically_nonincreasing(self):
+        thresholds = [0.01, 0.1, 0.3, 0.6, 1.0]
+        points = abft_detection_sweep(thresholds, n_trials=20, seed=0)
+        rates = [p.detection_rate for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_abft_false_alarm_monotonically_nonincreasing(self):
+        thresholds = [0.01, 0.1, 0.3, 0.6, 1.0]
+        points = abft_detection_sweep(thresholds, n_trials=20, seed=0)
+        fas = [p.false_alarm_rate for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(fas, fas[1:]))
+
+    def test_abft_extremes(self):
+        points = abft_detection_sweep([1e-6, 10.0], n_trials=10, seed=1)
+        assert points[0].detection_rate == 1.0
+        assert points[0].false_alarm_rate == 1.0
+        assert points[-1].false_alarm_rate == 0.0
+
+    def test_abft_good_threshold_separates(self):
+        # Around the paper's operating point the detection rate stays high
+        # while false alarms mostly vanish.
+        (point,) = abft_detection_sweep([0.3], n_trials=30, seed=2)
+        assert point.detection_rate > 0.6
+        assert point.false_alarm_rate < 0.3
+
+    def test_snvr_sweep_shapes(self):
+        thresholds = [1e-4, 1e-2, 0.5]
+        points = snvr_detection_sweep(thresholds, n_trials=15, seed=3)
+        assert [p.threshold for p in points] == thresholds
+        rates = [p.detection_rate for p in points]
+        fas = [p.false_alarm_rate for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(fas, fas[1:]))
+
+    def test_snvr_operating_point(self):
+        (point,) = snvr_detection_sweep([5e-3], n_trials=25, seed=4)
+        assert point.detection_rate > 0.7
+        assert point.false_alarm_rate < 0.2
+
+
+class TestRestrictionDistribution:
+    def test_selective_tighter_than_traditional(self):
+        # Figure 14 (right): SNVR concentrates the residual error near zero,
+        # the traditional clamp leaves it widely spread.
+        sel = restriction_error_distribution("selective", n_trials=60, seed=5)
+        trad = restriction_error_distribution("traditional", n_trials=60, seed=5)
+        assert sel.mean_output_error < trad.mean_output_error
+
+    def test_selective_majority_small_errors(self):
+        sel = restriction_error_distribution("selective", n_trials=60, seed=6)
+        small = np.mean([o.output_rel_error < 0.05 for o in sel.outcomes])
+        assert small > 0.5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            restriction_error_distribution("bogus")
+
+    def test_distribution_histogram(self):
+        sel = restriction_error_distribution("selective", n_trials=30, seed=7)
+        edges, fractions = sel.error_distribution(bins=10, upper=0.2)
+        assert np.isclose(fractions.sum(), 1.0)

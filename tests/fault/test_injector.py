@@ -1,0 +1,172 @@
+"""Tests for the fault injector and BER corruption."""
+
+import numpy as np
+import pytest
+
+from repro.fault.injector import FaultInjector, inject_bit_errors
+from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
+
+
+class TestFaultSpec:
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site=FaultSite.GEMM_QK, dtype="fp64")
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site=FaultSite.GEMM_QK, occurrence=-1)
+
+
+class TestInjectionRecord:
+    def test_magnitudes(self):
+        rec = InjectionRecord(
+            site=FaultSite.GEMM_QK, block=None, index=(0,), bit=3, original=2.0, corrupted=3.0
+        )
+        assert rec.magnitude == 1.0
+        assert rec.relative_magnitude == 0.5
+
+    def test_relative_magnitude_of_zero_original(self):
+        rec = InjectionRecord(
+            site=FaultSite.GEMM_QK, block=None, index=(0,), bit=3, original=0.0, corrupted=1.0
+        )
+        assert rec.relative_magnitude == float("inf")
+
+
+class TestFaultInjector:
+    def test_inert_injector_does_nothing(self):
+        arr = np.ones(10, dtype=np.float32)
+        inj = FaultInjector.inert()
+        assert inj.corrupt(FaultSite.GEMM_QK, arr) == []
+        np.testing.assert_array_equal(arr, 1.0)
+        assert not inj.armed
+
+    def test_single_bit_flip_applied_once(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=0, bit=15, dtype="fp16")
+        arr = np.ones((4, 4), dtype=np.float32)
+        records = inj.corrupt(FaultSite.GEMM_QK, arr)
+        assert len(records) == 1
+        assert np.count_nonzero(arr != 1.0) == 1
+        # A second offer does not re-apply the fault (SEU model).
+        arr2 = np.ones((4, 4), dtype=np.float32)
+        assert inj.corrupt(FaultSite.GEMM_QK, arr2) == []
+        assert np.all(arr2 == 1.0)
+        assert not inj.armed
+        assert inj.applied_count == 1
+
+    def test_site_filtering(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_PV, seed=0)
+        arr = np.ones(8, dtype=np.float32)
+        assert inj.corrupt(FaultSite.GEMM_QK, arr) == []
+        assert inj.armed
+
+    def test_block_filtering(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=0, block=(1, 2))
+        arr = np.ones(8, dtype=np.float32)
+        assert inj.corrupt(FaultSite.GEMM_QK, arr, block=(0, 0)) == []
+        assert inj.corrupt(FaultSite.GEMM_QK, arr, block=(1, 2)) != []
+
+    def test_explicit_index_and_bit(self):
+        inj = FaultInjector.single_bit_flip(
+            FaultSite.GEMM_QK, index=(1, 3), bit=15, dtype="fp16"
+        )
+        arr = np.ones((2, 4), dtype=np.float32)
+        records = inj.corrupt(FaultSite.GEMM_QK, arr)
+        assert records[0].index == (1, 3)
+        assert arr[1, 3] == -1.0
+
+    def test_occurrence_skips_first_matches(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=0, occurrence=2, bit=15)
+        arrays = [np.ones(4, dtype=np.float32) for _ in range(4)]
+        hits = [len(inj.corrupt(FaultSite.GEMM_QK, a)) for a in arrays]
+        assert hits == [0, 0, 1, 0]
+
+    def test_fp32_representation_flip(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.REDUCE_SUM, index=(0,), bit=31, dtype="fp32")
+        arr = np.array([5.0], dtype=np.float32)
+        inj.corrupt(FaultSite.REDUCE_SUM, arr)
+        assert arr[0] == -5.0
+
+    def test_reset_rearms(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=0, bit=15)
+        arr = np.ones(4, dtype=np.float32)
+        inj.corrupt(FaultSite.GEMM_QK, arr)
+        assert not inj.armed
+        inj.reset()
+        assert inj.armed
+        assert inj.applied_count == 0
+
+    def test_reset_reproduces_same_fault(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=42)
+        a = np.ones((8, 8), dtype=np.float32)
+        inj.corrupt(FaultSite.GEMM_QK, a)
+        first = inj.records[0]
+        inj.reset()
+        b = np.ones((8, 8), dtype=np.float32)
+        inj.corrupt(FaultSite.GEMM_QK, b)
+        second = inj.records[0]
+        assert first.index == second.index
+        assert first.bit == second.bit
+
+    def test_multiple_specs(self):
+        specs = [
+            FaultSpec(site=FaultSite.GEMM_QK, bit=15),
+            FaultSpec(site=FaultSite.GEMM_PV, bit=15),
+        ]
+        inj = FaultInjector(specs=specs, seed=0)
+        a = np.ones(4, dtype=np.float32)
+        b = np.ones(4, dtype=np.float32)
+        inj.corrupt(FaultSite.GEMM_QK, a)
+        inj.corrupt(FaultSite.GEMM_PV, b)
+        assert inj.applied_count == 2
+
+    def test_wrong_rank_index_rejected(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, index=(1, 2, 3))
+        with pytest.raises(ValueError):
+            inj.corrupt(FaultSite.GEMM_QK, np.ones((4, 4), dtype=np.float32))
+
+    def test_empty_array_rejected(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK)
+        with pytest.raises(ValueError):
+            inj.corrupt(FaultSite.GEMM_QK, np.empty((0,), dtype=np.float32))
+
+    def test_record_captures_original_and_corrupted(self):
+        inj = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, index=(0,), bit=15, dtype="fp16")
+        arr = np.array([2.0], dtype=np.float32)
+        (record,) = inj.corrupt(FaultSite.GEMM_QK, arr)
+        assert record.original == 2.0
+        assert record.corrupted == -2.0
+        assert record.magnitude == 4.0
+
+
+class TestInjectBitErrors:
+    def test_min_errors_forced(self):
+        rng = np.random.default_rng(0)
+        arr = np.ones((16, 16), dtype=np.float32)
+        records = inject_bit_errors(arr, 0.0, rng, min_errors=3)
+        assert len(records) == 3
+        assert np.count_nonzero(arr != 1.0) <= 3  # low mantissa flips may round back
+
+    def test_zero_rate_zero_min(self):
+        rng = np.random.default_rng(0)
+        arr = np.ones((8, 8), dtype=np.float32)
+        assert inject_bit_errors(arr, 0.0, rng) == []
+        np.testing.assert_array_equal(arr, 1.0)
+
+    def test_rate_one_corrupts_every_element_at_most_once(self):
+        rng = np.random.default_rng(0)
+        arr = np.ones((4, 4), dtype=np.float32)
+        records = inject_bit_errors(arr, 1.0, rng)
+        assert len(records) == arr.size
+        assert len({r.index for r in records}) == arr.size
+
+    def test_invalid_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            inject_bit_errors(np.ones(4, dtype=np.float32), 1.5, rng)
+
+    def test_expected_count_scales_with_rate(self):
+        rng = np.random.default_rng(1)
+        arr = np.ones((64, 64), dtype=np.float32)
+        low = len(inject_bit_errors(arr.copy(), 1e-4, rng))
+        high = len(inject_bit_errors(arr.copy(), 1e-2, rng))
+        assert high > low

@@ -1,0 +1,65 @@
+"""Tests for campaign metrics."""
+
+import numpy as np
+import pytest
+
+from repro.fault.metrics import CampaignResult, TrialOutcome
+
+
+class TestCampaignResult:
+    def test_empty_result(self):
+        result = CampaignResult()
+        assert result.n_trials == 0
+        assert result.detection_rate == 0.0
+        assert result.false_alarm_rate == 0.0
+        assert result.coverage == 0.0
+        assert result.mean_output_error == 0.0
+
+    def test_detection_rate(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=1, detected=1))
+        result.add(TrialOutcome(injected=1, detected=0))
+        result.add(TrialOutcome(injected=0, detected=0))
+        assert result.detection_rate == pytest.approx(0.5)
+
+    def test_false_alarm_rate_uses_clean_trials_only(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=0, false_alarm=True))
+        result.add(TrialOutcome(injected=0, false_alarm=False))
+        result.add(TrialOutcome(injected=1, detected=1))
+        assert result.false_alarm_rate == pytest.approx(0.5)
+
+    def test_coverage_weights_by_injected_count(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=4, detected=4, corrected=3))
+        result.add(TrialOutcome(injected=1, detected=1, corrected=0))
+        assert result.coverage == pytest.approx(3 / 5)
+
+    def test_mean_output_error(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=1, output_rel_error=0.1))
+        result.add(TrialOutcome(injected=1, output_rel_error=0.3))
+        result.add(TrialOutcome(injected=0, output_rel_error=99.0))
+        assert result.mean_output_error == pytest.approx(0.2)
+
+    def test_error_distribution_sums_to_one(self):
+        result = CampaignResult()
+        for err in [0.001, 0.01, 0.05, 0.1, 0.5]:
+            result.add(TrialOutcome(injected=1, output_rel_error=err))
+        edges, fractions = result.error_distribution(bins=10, upper=0.2)
+        assert len(edges) == 11
+        assert len(fractions) == 10
+        assert np.isclose(fractions.sum(), 1.0)
+
+    def test_error_distribution_empty(self):
+        edges, fractions = CampaignResult().error_distribution(bins=5)
+        assert len(fractions) == 5
+        assert fractions.sum() == 0.0
+
+    def test_trial_partition(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=1))
+        result.add(TrialOutcome(injected=0))
+        assert len(result.injected_trials) == 1
+        assert len(result.clean_trials) == 1
+        assert result.n_trials == 2

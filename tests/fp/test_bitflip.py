@@ -1,0 +1,100 @@
+"""Tests for bit-level float access and bit-flip primitives."""
+
+import numpy as np
+import pytest
+
+from repro.fp.bitflip import (
+    bit_width,
+    bits_to_float,
+    flip_bit,
+    flip_bit_array,
+    float_to_bits,
+    random_bit_positions,
+)
+
+
+class TestBitViews:
+    def test_bit_width(self):
+        assert bit_width(np.float16) == 16
+        assert bit_width(np.float32) == 32
+        assert bit_width(np.float64) == 64
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+    def test_round_trip(self, dtype):
+        values = np.array([0.0, 1.5, -2.25, 1000.0], dtype=dtype)
+        bits = float_to_bits(values, dtype)
+        back = bits_to_float(bits, dtype)
+        np.testing.assert_array_equal(back, values)
+
+    def test_float_to_bits_known_value(self):
+        # 1.0 in FP32 is 0x3F800000.
+        assert int(float_to_bits(1.0, np.float32)) == 0x3F800000
+
+    def test_float16_one(self):
+        assert int(float_to_bits(1.0, np.float16)) == 0x3C00
+
+
+class TestFlipBit:
+    def test_sign_bit_fp32(self):
+        assert flip_bit(3.0, 31, np.float32) == -3.0
+
+    def test_sign_bit_fp16(self):
+        assert flip_bit(3.0, 15, np.float16) == -3.0
+
+    def test_flip_is_involution(self):
+        value = 1.2345
+        once = flip_bit(value, 20, np.float32)
+        twice = flip_bit(once, 20, np.float32)
+        assert twice == pytest.approx(np.float32(value))
+
+    def test_low_mantissa_bit_is_small_change(self):
+        original = 1.0
+        corrupted = flip_bit(original, 0, np.float32)
+        assert corrupted != original
+        assert abs(corrupted - original) < 1e-6
+
+    def test_exponent_bit_is_large_change(self):
+        corrupted = flip_bit(1.0, 30, np.float32)
+        assert abs(corrupted) > 1e10 or abs(corrupted) < 1e-10
+
+    def test_out_of_range_bit_raises(self):
+        with pytest.raises(ValueError):
+            flip_bit(1.0, 16, np.float16)
+        with pytest.raises(ValueError):
+            flip_bit(1.0, -1, np.float32)
+
+    def test_flip_bit_array_in_place(self):
+        arr = np.ones((2, 3), dtype=np.float32)
+        new_value = flip_bit_array(arr, (1, 2), 31)
+        assert new_value == -1.0
+        assert arr[1, 2] == -1.0
+        assert arr[0, 0] == 1.0
+
+    def test_flip_bit_array_fp16_representation(self):
+        # Corrupt an FP32 array element while it lives in an FP16 register.
+        arr = np.full((1,), 1.0, dtype=np.float32)
+        flip_bit_array(arr, (0,), 15, dtype=np.float16)
+        assert arr[0] == -1.0
+
+
+class TestRandomBitPositions:
+    def test_count_and_uniqueness(self):
+        rng = np.random.default_rng(0)
+        positions = random_bit_positions(rng, (8, 8), 10, width=16)
+        assert len(positions) == 10
+        assert len({idx for idx, _ in positions}) == 10
+
+    def test_bits_in_range(self):
+        rng = np.random.default_rng(1)
+        positions = random_bit_positions(rng, (4, 4), 16, width=16)
+        assert all(0 <= bit < 16 for _, bit in positions)
+
+    def test_indices_in_range(self):
+        rng = np.random.default_rng(2)
+        positions = random_bit_positions(rng, (3, 5), 15, width=32)
+        assert all(0 <= r < 3 and 0 <= c < 5 for (r, c), _ in positions)
+
+    def test_too_many_errors_raises(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            random_bit_positions(rng, (2, 2), 5)

@@ -1,0 +1,105 @@
+"""Tests for the MMA atom / TiledMMA thread-data ownership maps."""
+
+import pytest
+
+from repro.gemm.mma import EFTA_TILED_MMA, MMAAtomLayout, SM80_16x8x16, TiledMMALayout
+
+
+class TestMMAAtom:
+    def test_shape_defaults(self):
+        assert (SM80_16x8x16.m, SM80_16x8x16.n, SM80_16x8x16.k) == (16, 8, 16)
+
+    def test_paper_examples_for_a_fragment(self):
+        # Figure 6: A[0][0] is in thread 0, A[4][0] in thread 16, A[8][0]
+        # back in thread 0 (the 8x8 sub-tile repeats).
+        assert SM80_16x8x16.a_owner(0, 0)[0] == 0
+        assert SM80_16x8x16.a_owner(4, 0)[0] == 16
+        assert SM80_16x8x16.a_owner(8, 0)[0] == 0
+
+    def test_a_fragment_lane_range(self):
+        lanes = {SM80_16x8x16.a_owner(r, c)[0] for r in range(16) for c in range(16)}
+        assert lanes == set(range(32))
+
+    def test_b_fragment_lane_range(self):
+        lanes = {SM80_16x8x16.b_owner(r, c)[0] for r in range(16) for c in range(8)}
+        assert lanes == set(range(32))
+
+    def test_c_fragment_lane_range(self):
+        lanes = {SM80_16x8x16.c_owner(r, c)[0] for r in range(16) for c in range(8)}
+        assert lanes == set(range(32))
+
+    def test_c_fragment_register_count(self):
+        # Each lane holds exactly 4 accumulator values of the 16x8 tile.
+        from collections import Counter
+
+        counts = Counter(SM80_16x8x16.c_owner(r, c)[0] for r in range(16) for c in range(8))
+        assert set(counts.values()) == {4}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            SM80_16x8x16.a_owner(16, 0)
+        with pytest.raises(IndexError):
+            SM80_16x8x16.b_owner(0, 8)
+        with pytest.raises(IndexError):
+            SM80_16x8x16.c_owner(-1, 0)
+
+
+class TestTiledMMA:
+    def test_efta_tile_shape(self):
+        assert EFTA_TILED_MMA.tile_m == 64
+        assert EFTA_TILED_MMA.tile_n == 16
+        assert EFTA_TILED_MMA.threads == 128
+
+    def test_same_thread_column_stride_is_eight(self):
+        # Section 3.3: along the row (N direction), elements with stride 8 are
+        # on the same thread -- this is what makes the row tensor checksum an
+        # intra-thread accumulation.
+        assert EFTA_TILED_MMA.same_thread_column_stride() == 8
+        assert EFTA_TILED_MMA.is_intra_thread_fold(8, "cols")
+
+    def test_same_thread_row_stride_is_sixtyfour(self):
+        # Along the column (M direction) the same-thread stride is 64, hence
+        # the 8x memory cost of a column-checksum variant.
+        assert EFTA_TILED_MMA.same_thread_row_stride() == 64
+        assert EFTA_TILED_MMA.is_intra_thread_fold(64, "rows")
+
+    def test_smaller_row_stride_crosses_threads(self):
+        assert not EFTA_TILED_MMA.is_intra_thread_fold(16, "rows")
+        assert not EFTA_TILED_MMA.is_intra_thread_fold(32, "rows")
+
+    def test_smaller_column_stride_crosses_threads(self):
+        assert not EFTA_TILED_MMA.is_intra_thread_fold(4, "cols")
+
+    def test_paper_examples_for_q_rows(self):
+        # Q_i[0][0], Q_i[64][0] and Q_i[128][0] live in the same thread.
+        t0 = EFTA_TILED_MMA.c_owner_thread(0, 0)
+        assert EFTA_TILED_MMA.c_owner_thread(64, 0) == t0
+        assert EFTA_TILED_MMA.c_owner_thread(128, 0) == t0
+
+    def test_paper_examples_for_k_columns(self):
+        # K^T[0][0], K^T[0][8], K^T[0][16] live in the same thread.
+        t0 = EFTA_TILED_MMA.c_owner_thread(0, 0)
+        assert EFTA_TILED_MMA.c_owner_thread(0, 8) == t0
+        assert EFTA_TILED_MMA.c_owner_thread(0, 16) == t0
+
+    def test_warps_partition_rows(self):
+        # Rows 0-15 belong to warp 0, rows 16-31 to warp 1, etc.
+        assert EFTA_TILED_MMA.c_owner_thread(0, 0) < 32
+        assert 32 <= EFTA_TILED_MMA.c_owner_thread(16, 0) < 64
+        assert 64 <= EFTA_TILED_MMA.c_owner_thread(32, 0) < 96
+        assert 96 <= EFTA_TILED_MMA.c_owner_thread(48, 0) < 128
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(IndexError):
+            EFTA_TILED_MMA.c_owner_thread(-1, 0)
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            EFTA_TILED_MMA.is_intra_thread_fold(8, "diagonal")
+
+    def test_custom_tiled_mma(self):
+        layout = TiledMMALayout(atom=MMAAtomLayout(), warps_m=2, atom_iters_n=4)
+        assert layout.tile_m == 32
+        assert layout.tile_n == 32
+        assert layout.threads == 64
+        assert layout.is_intra_thread_fold(layout.same_thread_column_stride(), "cols")

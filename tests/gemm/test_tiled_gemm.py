@@ -1,0 +1,73 @@
+"""Tests for the blocked mixed-precision GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.tiled_gemm import blocked_matmul, iter_tiles
+
+
+class TestIterTiles:
+    def test_covers_matrix_exactly_once(self):
+        seen = np.zeros((10, 7), dtype=int)
+        for rs, cs in iter_tiles(10, 7, 4, 3):
+            seen[rs, cs] += 1
+        assert np.all(seen == 1)
+
+    def test_tile_count(self):
+        tiles = list(iter_tiles(8, 8, 4, 4))
+        assert len(tiles) == 4
+
+    def test_ragged_edges(self):
+        tiles = list(iter_tiles(5, 5, 4, 4))
+        assert len(tiles) == 4
+        last_rows, last_cols = tiles[-1]
+        assert last_rows == slice(4, 5)
+        assert last_cols == slice(4, 5)
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValueError):
+            list(iter_tiles(4, 4, 0, 4))
+
+
+class TestBlockedMatmul:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((33, 17)).astype(np.float32)
+        b = rng.standard_normal((17, 29)).astype(np.float32)
+        out = blocked_matmul(a, b, tile_m=8, tile_n=8, mixed_precision=False)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_mixed_precision_close_to_exact(self, rng):
+        a = rng.standard_normal((32, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 32)).astype(np.float32)
+        out = blocked_matmul(a, b, tile_m=16, tile_n=16, mixed_precision=True)
+        np.testing.assert_allclose(out, a @ b, rtol=3e-2, atol=3e-2)
+
+    def test_result_dtype_float32(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        assert blocked_matmul(a, b).dtype == np.float32
+
+    def test_tile_hook_sees_every_tile(self, rng):
+        a = rng.standard_normal((16, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 16)).astype(np.float32)
+        calls = []
+        blocked_matmul(a, b, tile_m=8, tile_n=8, tile_hook=lambda t, rs, cs: calls.append((rs, cs)))
+        assert len(calls) == 4
+
+    def test_tile_hook_can_corrupt_output(self, rng):
+        a = rng.standard_normal((8, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+
+        def corrupt(tile, rs, cs):
+            tile[0, 0] = 999.0
+
+        out = blocked_matmul(a, b, tile_m=8, tile_n=8, tile_hook=corrupt)
+        assert out[0, 0] == 999.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.ones((2, 3, 4)), np.ones((4, 2)))

@@ -1,0 +1,114 @@
+"""Tests for kernel cost records and the pipeline ledger."""
+
+import pytest
+
+from repro.hardware.kernel import KernelCost, KernelLedger
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+
+def make_spec(**overrides) -> GPUSpec:
+    defaults = dict(
+        name="test-gpu",
+        hbm_bytes=16 * 1024**3,
+        hbm_bandwidth=1e12,
+        tensor_fp16_flops=1e14,
+        cuda_fp32_flops=1e13,
+        sfu_exp_ops=1e12,
+        kernel_launch_latency=1e-5,
+        compute_efficiency=1.0,
+        bandwidth_efficiency=1.0,
+    )
+    defaults.update(overrides)
+    return GPUSpec(**defaults)
+
+
+class TestKernelCost:
+    def test_bytes_total(self):
+        cost = KernelCost(name="k", bytes_read=100, bytes_written=50)
+        assert cost.bytes_total == 150
+
+    def test_launch_latency_only(self):
+        spec = make_spec()
+        cost = KernelCost(name="k")
+        assert cost.time_seconds(spec) == pytest.approx(spec.kernel_launch_latency)
+
+    def test_compute_bound_kernel(self):
+        spec = make_spec()
+        cost = KernelCost(name="k", tensor_flops=1e14, bytes_read=1e6)
+        # 1e14 flops at 1e14 flop/s = 1 second dominates the tiny memory time.
+        assert cost.time_seconds(spec) == pytest.approx(1.0 + spec.kernel_launch_latency)
+
+    def test_memory_bound_kernel(self):
+        spec = make_spec()
+        cost = KernelCost(name="k", tensor_flops=1e10, bytes_read=1e12)
+        assert cost.time_seconds(spec) == pytest.approx(1.0 + spec.kernel_launch_latency, rel=1e-3)
+
+    def test_compute_units_add(self):
+        spec = make_spec()
+        cost = KernelCost(name="k", tensor_flops=1e14, cuda_flops=1e13, exp_ops=1e12)
+        assert cost.time_seconds(spec) == pytest.approx(3.0 + spec.kernel_launch_latency)
+
+    def test_efficiency_derating_increases_time(self):
+        fast = make_spec()
+        slow = make_spec(compute_efficiency=0.5)
+        cost = KernelCost(name="k", tensor_flops=1e14)
+        assert cost.time_seconds(slow) > cost.time_seconds(fast)
+
+    def test_scaled(self):
+        cost = KernelCost(name="k", tensor_flops=10, cuda_flops=4, bytes_read=8, launches=2)
+        half = cost.scaled(0.5)
+        assert half.tensor_flops == 5
+        assert half.cuda_flops == 2
+        assert half.bytes_read == 4
+        assert half.launches == 2  # launches are not scaled
+
+    def test_merged_fuses_without_adding_launches(self):
+        a = KernelCost(name="a", tensor_flops=10, launches=1)
+        b = KernelCost(name="b", cuda_flops=5, launches=1)
+        fused = a.merged(b, name="fused")
+        assert fused.tensor_flops == 10
+        assert fused.cuda_flops == 5
+        assert fused.launches == 1
+        assert fused.name == "fused"
+
+    def test_zero_launch_cost_has_no_latency(self):
+        spec = make_spec()
+        cost = KernelCost(name="k", cuda_flops=1e13, launches=0)
+        assert cost.time_seconds(spec) == pytest.approx(1.0)
+
+
+class TestKernelLedger:
+    def test_total_time_sums_kernels(self):
+        spec = make_spec()
+        ledger = KernelLedger(spec)
+        ledger.add(KernelCost(name="a", tensor_flops=1e14))
+        ledger.add(KernelCost(name="b", tensor_flops=2e14))
+        assert ledger.total_time() == pytest.approx(3.0 + 2 * spec.kernel_launch_latency)
+
+    def test_total_bytes_and_launches(self):
+        ledger = KernelLedger(make_spec())
+        ledger.add(KernelCost(name="a", bytes_read=10, bytes_written=5, launches=1))
+        ledger.add(KernelCost(name="b", bytes_read=1, launches=2))
+        assert ledger.total_bytes() == 16
+        assert ledger.total_launches() == 3
+
+    def test_time_of_by_name(self):
+        spec = make_spec()
+        ledger = KernelLedger(spec)
+        ledger.add(KernelCost(name="a", tensor_flops=1e14, launches=0))
+        ledger.add(KernelCost(name="b", tensor_flops=1e14, launches=0))
+        ledger.add(KernelCost(name="a", tensor_flops=1e14, launches=0))
+        assert ledger.time_of("a") == pytest.approx(2.0)
+        assert ledger.names() == ["a", "b", "a"]
+
+    def test_a100_attention_kernel_is_sub_millisecond_scale(self):
+        # Sanity: a 512-length, 16-head attention on the A100 model lands in
+        # the sub-10ms regime the paper reports.
+        cost = KernelCost(
+            name="attn",
+            tensor_flops=2 * 2 * 512 * 16 * 512 * 512 * 64,
+            exp_ops=512 * 16 * 512 * 512,
+            bytes_read=3 * 512 * 16 * 512 * 64 * 2,
+            bytes_written=512 * 16 * 512 * 64 * 2,
+        )
+        assert 1e-5 < cost.time_seconds(A100_PCIE_40GB) < 1e-2

@@ -1,0 +1,82 @@
+"""Tests for the HBM capacity tracker."""
+
+import pytest
+
+from repro.hardware.memory import HBMTracker, OutOfMemoryError
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+GIB = 1024**3
+
+
+class TestHBMTracker:
+    def test_initial_usage_is_reserved(self):
+        tracker = HBMTracker(A100_PCIE_40GB, reserved_bytes=GIB)
+        assert tracker.in_use == GIB
+        assert tracker.peak == GIB
+
+    def test_allocate_and_free(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        tracker.allocate("scores", 4 * GIB)
+        assert tracker.in_use == tracker.reserved_bytes + 4 * GIB
+        tracker.free("scores")
+        assert tracker.in_use == tracker.reserved_bytes
+
+    def test_peak_tracks_high_water_mark(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        tracker.allocate("a", 8 * GIB)
+        tracker.free("a")
+        tracker.allocate("b", 2 * GIB)
+        assert tracker.peak == tracker.reserved_bytes + 8 * GIB
+
+    def test_capacity_exceeded_raises(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate("huge", 41 * GIB)
+
+    def test_oom_message_mentions_device(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        with pytest.raises(OutOfMemoryError, match="A100"):
+            tracker.allocate("huge", 45 * GIB)
+
+    def test_failed_allocation_not_recorded(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate("huge", 45 * GIB)
+        assert tracker.in_use == tracker.reserved_bytes
+
+    def test_duplicate_name_rejected(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        tracker.allocate("x", GIB)
+        with pytest.raises(ValueError):
+            tracker.allocate("x", GIB)
+
+    def test_free_unknown_name_raises(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        with pytest.raises(KeyError):
+            tracker.free("nope")
+
+    def test_negative_allocation_rejected(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        with pytest.raises(ValueError):
+            tracker.allocate("neg", -1)
+
+    def test_free_all(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        tracker.allocate("a", GIB)
+        tracker.allocate("b", GIB)
+        tracker.free_all()
+        assert tracker.in_use == tracker.reserved_bytes
+
+    def test_would_fit(self):
+        tracker = HBMTracker(A100_PCIE_40GB)
+        assert tracker.would_fit(10 * GIB)
+        assert not tracker.would_fit(45 * GIB)
+
+    def test_smaller_device_ooms_sooner(self):
+        small = GPUSpec(
+            name="tiny", hbm_bytes=4 * GIB, hbm_bandwidth=1e12,
+            tensor_fp16_flops=1e14, cuda_fp32_flops=1e13, sfu_exp_ops=1e12,
+        )
+        tracker = HBMTracker(small, reserved_bytes=GIB)
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate("scores", 3 * GIB + 1)

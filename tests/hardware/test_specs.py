@@ -1,0 +1,35 @@
+"""Tests for the GPU specification dataclass."""
+
+import pytest
+
+from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
+
+
+class TestGPUSpec:
+    def test_a100_capacity(self):
+        assert A100_PCIE_40GB.hbm_bytes == 40 * 1024**3
+
+    def test_a100_tensor_peak(self):
+        assert A100_PCIE_40GB.tensor_fp16_flops == pytest.approx(312e12)
+
+    def test_effective_rates_are_derated(self):
+        spec = A100_PCIE_40GB
+        assert spec.effective_tensor_flops < spec.tensor_fp16_flops
+        assert spec.effective_bandwidth < spec.hbm_bandwidth
+        assert spec.effective_cuda_flops < spec.cuda_fp32_flops
+        assert spec.effective_exp_ops < spec.sfu_exp_ops
+
+    def test_efficiency_factors_applied_exactly(self):
+        spec = GPUSpec(
+            name="x", hbm_bytes=1, hbm_bandwidth=100.0, tensor_fp16_flops=200.0,
+            cuda_fp32_flops=50.0, sfu_exp_ops=10.0,
+            compute_efficiency=0.5, bandwidth_efficiency=0.25,
+        )
+        assert spec.effective_tensor_flops == 100.0
+        assert spec.effective_cuda_flops == 25.0
+        assert spec.effective_exp_ops == 5.0
+        assert spec.effective_bandwidth == 25.0
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(AttributeError):
+            A100_PCIE_40GB.hbm_bytes = 0

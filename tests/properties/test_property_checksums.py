@@ -1,0 +1,120 @@
+"""Property-based tests of the ABFT checksum invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gemm.checksum import (
+    encode_column_checksums,
+    encode_row_checksums,
+    encode_strided_row_checksums,
+    strided_sums,
+    verify_column_checksums,
+    verify_strided_checksums,
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+finite_floats = st.floats(min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False, width=32)
+
+
+def matrices(min_rows=2, max_rows=12, min_cols=2, max_cols=24):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=st.tuples(
+            st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+        ),
+        elements=finite_floats,
+    )
+
+
+class TestTraditionalChecksumProperties:
+    @given(a=matrices())
+    @settings(**SETTINGS)
+    def test_column_checksum_is_linear_in_rows(self, a):
+        c1, c2 = encode_column_checksums(a)
+        np.testing.assert_allclose(c1, a.sum(axis=0), rtol=1e-4, atol=1e-4)
+        weights = np.arange(1, a.shape[0] + 1, dtype=np.float64)
+        np.testing.assert_allclose(c2, weights @ a.astype(np.float64), rtol=1e-4, atol=1e-3)
+
+    @given(b=matrices())
+    @settings(**SETTINGS)
+    def test_row_checksum_is_linear_in_columns(self, b):
+        r1, _ = encode_row_checksums(b)
+        np.testing.assert_allclose(r1, b.sum(axis=1), rtol=1e-4, atol=1e-4)
+
+    @given(a=matrices(max_cols=12), data=st.data())
+    @settings(**SETTINGS)
+    def test_any_single_large_error_is_corrected(self, a, data):
+        b = np.eye(a.shape[1], dtype=np.float32)  # identity keeps the algebra exact
+        c = (a @ b).astype(np.float64)
+        c1, c2 = encode_column_checksums(a)
+        check1 = c1 @ b
+        check2 = c2 @ b
+        row = data.draw(st.integers(0, c.shape[0] - 1))
+        col = data.draw(st.integers(0, c.shape[1] - 1))
+        expected = c.copy()
+        c[row, col] += 100.0
+        verdict = verify_column_checksums(c, check1, check2, atol=1e-3, rtol=1e-3)
+        assert verdict.corrected == 1
+        np.testing.assert_allclose(c, expected, atol=1e-2)
+
+
+class TestStridedChecksumProperties:
+    @given(kt=matrices(min_rows=2, max_rows=10, min_cols=2, max_cols=40), stride=st.sampled_from([4, 8]))
+    @settings(**SETTINGS)
+    def test_checksum_totals_preserve_row_sums(self, kt, stride):
+        # Folding at any stride preserves the total sum along the folded axis.
+        c1, _ = encode_strided_row_checksums(kt, stride)
+        np.testing.assert_allclose(c1.sum(axis=1), kt.sum(axis=1), rtol=1e-4, atol=1e-3)
+
+    @given(s=matrices(min_cols=8, max_cols=40), stride=st.sampled_from([4, 8]))
+    @settings(**SETTINGS)
+    def test_strided_sums_match_encoding(self, s, stride):
+        sum1, sum2 = strided_sums(s, stride)
+        c1, c2 = encode_strided_row_checksums(s, stride)
+        np.testing.assert_allclose(sum1, c1, rtol=1e-4, atol=1e-3)
+        np.testing.assert_allclose(sum2, c2, rtol=1e-4, atol=1e-3)
+
+    @given(
+        q=matrices(min_rows=2, max_rows=8, min_cols=8, max_cols=16),
+        data=st.data(),
+    )
+    @settings(**SETTINGS)
+    def test_checksum_gemm_commutes_with_fold(self, q, data):
+        # Equation (14): folding the output equals multiplying by the folded operand.
+        cols = data.draw(st.integers(8, 32))
+        rng = np.random.default_rng(0)
+        k = rng.standard_normal((cols, q.shape[1])).astype(np.float32)
+        s = (q.astype(np.float64) @ k.T.astype(np.float64))
+        kc1, _ = encode_strided_row_checksums(k.T, 8)
+        check = q.astype(np.float64) @ kc1.astype(np.float64)
+        fold, _ = strided_sums(s, 8)
+        np.testing.assert_allclose(check, fold, rtol=1e-4, atol=1e-3)
+
+    @given(
+        s=matrices(min_rows=2, max_rows=8, min_cols=9, max_cols=40),
+        data=st.data(),
+    )
+    @settings(**SETTINGS)
+    def test_single_error_corrected_at_any_position(self, s, data):
+        stride = 8
+        check1, check2 = strided_sums(s, stride)
+        row = data.draw(st.integers(0, s.shape[0] - 1))
+        col = data.draw(st.integers(0, s.shape[1] - 1))
+        corrupted = s.copy()
+        corrupted[row, col] += 500.0
+        verdict = verify_strided_checksums(
+            corrupted, check1, check2, stride=stride, atol=1e-3, rtol=1e-3
+        )
+        assert verdict.corrected == 1
+        assert verdict.corrections[0].row == row
+        assert verdict.corrections[0].col == col
+        np.testing.assert_allclose(corrupted, s, atol=1e-2)
+
+    @given(s=matrices(min_cols=8, max_cols=32))
+    @settings(**SETTINGS)
+    def test_clean_verification_never_alarms_with_exact_checksums(self, s):
+        check1, check2 = strided_sums(s, 8)
+        verdict = verify_strided_checksums(s.copy(), check1, check2, stride=8, atol=1e-3, rtol=1e-3)
+        assert verdict.clean

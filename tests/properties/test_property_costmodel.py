@@ -1,0 +1,73 @@
+"""Property-based tests of the cost model's monotonicity and scaling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+workloads = st.builds(
+    AttentionWorkload,
+    batch=st.integers(1, 16),
+    heads=st.sampled_from([8, 16, 32]),
+    seq_len=st.sampled_from([256, 512, 1024, 2048, 4096]),
+    head_dim=st.sampled_from([32, 64, 128]),
+    block_size=st.sampled_from([64, 128]),
+)
+
+
+class TestCostModelProperties:
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_protection_never_free_and_never_dominates(self, w):
+        bd = AttentionCostModel(w).efta_breakdown(unified_verification=True)
+        assert bd.protection_time > 0
+        assert bd.overhead < 1.0  # hybrid protection never doubles the runtime
+
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_efta_always_beats_decoupled(self, w):
+        m = AttentionCostModel(w)
+        assert m.efta_breakdown().total_time < m.decoupled_ft_breakdown().total_time
+
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_unified_verification_never_slower(self, w):
+        m = AttentionCostModel(w)
+        assert (
+            m.efta_breakdown(unified_verification=True).total_time
+            <= m.efta_breakdown(unified_verification=False).total_time
+        )
+
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_strided_abft_never_slower_than_traditional(self, w):
+        m = AttentionCostModel(w)
+        assert (
+            m.strided_abft_cost("qk").time_seconds(m.spec)
+            <= m.traditional_abft_cost("qk").time_seconds(m.spec)
+        )
+
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_snvr_never_slower_than_dmr(self, w):
+        m = AttentionCostModel(w)
+        assert m.snvr_softmax_cost().time_seconds(m.spec) <= m.dmr_softmax_cost().time_seconds(m.spec)
+
+    @given(w=workloads, factor=st.sampled_from([2, 4]))
+    @settings(**SETTINGS)
+    def test_doubling_batch_scales_costs(self, w, factor):
+        bigger = AttentionWorkload(
+            batch=w.batch * factor, heads=w.heads, seq_len=w.seq_len,
+            head_dim=w.head_dim, block_size=w.block_size,
+        )
+        small_time = AttentionCostModel(w).efta_breakdown().total_time
+        big_time = AttentionCostModel(bigger).efta_breakdown().total_time
+        assert big_time > small_time
+        assert big_time < factor * small_time * 1.05
+
+    @given(w=workloads)
+    @settings(**SETTINGS)
+    def test_memory_footprints_positive_and_ordered(self, w):
+        m = AttentionCostModel(w)
+        assert 0 < m.efta_peak_bytes() < m.decoupled_peak_bytes()

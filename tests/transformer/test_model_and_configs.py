@@ -1,0 +1,152 @@
+"""Tests for the Transformer model, configurations, and the Figure-15 cost model."""
+
+import numpy as np
+import pytest
+
+from repro.fault.injector import FaultInjector
+from repro.fault.models import FaultSite, FaultSpec
+from repro.transformer.configs import BERT_BASE, BERT_LARGE, GPT2_SMALL, T5_SMALL, TransformerConfig, model_zoo
+from repro.transformer.costing import TransformerCostModel
+from repro.transformer.model import TransformerModel
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    cfg = GPT2_SMALL.scaled(hidden_dim=32, num_layers=2)
+    return cfg, TransformerModel(cfg, seed=0, attention_block_size=16)
+
+
+@pytest.fixture(scope="module")
+def tiny_ids(tiny_model):
+    cfg, _ = tiny_model
+    return np.random.default_rng(1).integers(0, cfg.vocab_size, size=(2, 20))
+
+
+class TestConfigs:
+    def test_zoo_contains_papers_models(self):
+        names = [c.name for c in model_zoo()]
+        assert names == ["GPT2", "BERT-Base", "BERT-Large", "T5-Small"]
+
+    def test_published_shapes(self):
+        assert (GPT2_SMALL.hidden_dim, GPT2_SMALL.num_heads, GPT2_SMALL.num_layers) == (768, 12, 12)
+        assert (BERT_BASE.hidden_dim, BERT_BASE.num_layers) == (768, 12)
+        assert (BERT_LARGE.hidden_dim, BERT_LARGE.num_heads, BERT_LARGE.num_layers) == (1024, 16, 24)
+        assert (T5_SMALL.hidden_dim, T5_SMALL.num_heads, T5_SMALL.num_layers) == (512, 8, 12)
+
+    def test_head_dim(self):
+        assert GPT2_SMALL.head_dim == 64
+        assert BERT_LARGE.head_dim == 64
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(name="bad", hidden_dim=30, num_heads=4, num_layers=1, ffn_dim=8)
+        with pytest.raises(ValueError):
+            TransformerConfig(name="bad", hidden_dim=32, num_heads=4, num_layers=0, ffn_dim=8)
+
+    def test_scaled_copy_is_consistent(self):
+        tiny = BERT_LARGE.scaled(hidden_dim=48, num_layers=3)
+        assert tiny.hidden_dim == 48
+        assert tiny.hidden_dim % tiny.num_heads == 0
+        assert tiny.num_layers == 3
+
+
+class TestTransformerModel:
+    def test_forward_shapes(self, tiny_model, tiny_ids):
+        cfg, model = tiny_model
+        out = model(tiny_ids)
+        assert out.hidden_states.shape == (2, 20, cfg.hidden_dim)
+        assert out.logits.shape == (2, 20, cfg.vocab_size)
+        assert out.report.clean
+
+    def test_protected_close_to_unprotected(self, tiny_model, tiny_ids):
+        _, model = tiny_model
+        protected = model(tiny_ids)
+        unprotected = model(tiny_ids, protected=False)
+        np.testing.assert_allclose(
+            protected.logits, unprotected.logits, rtol=5e-2, atol=5e-2
+        )
+
+    def test_deterministic_given_seed(self, tiny_ids):
+        cfg = GPT2_SMALL.scaled(hidden_dim=32, num_layers=1)
+        a = TransformerModel(cfg, seed=7, attention_block_size=16)(tiny_ids)
+        b = TransformerModel(cfg, seed=7, attention_block_size=16)(tiny_ids)
+        np.testing.assert_array_equal(a.logits, b.logits)
+
+    def test_generate_token(self, tiny_model, tiny_ids):
+        _, model = tiny_model
+        tokens, output = model.generate_token(tiny_ids)
+        assert tokens.shape == (2,)
+        assert output.logits is not None
+
+    def test_generate_requires_lm_head(self, tiny_ids):
+        cfg = GPT2_SMALL.scaled(hidden_dim=32, num_layers=1)
+        model = TransformerModel(cfg, with_lm_head=False, attention_block_size=16)
+        with pytest.raises(RuntimeError):
+            model.generate_token(tiny_ids)
+
+    def test_attention_fault_corrected_logits_unchanged(self, tiny_model, tiny_ids):
+        _, model = tiny_model
+        clean = model(tiny_ids)
+        injector = FaultInjector.single_bit_flip(FaultSite.GEMM_QK, seed=5, bit=14, dtype="fp16")
+        faulty = model(tiny_ids, injector=injector)
+        assert faulty.report.detected_any
+        assert faulty.report.total_corrections >= 1
+        np.testing.assert_allclose(faulty.logits, clean.logits, rtol=5e-2, atol=5e-2)
+
+    def test_linear_fault_corrected(self, tiny_model, tiny_ids):
+        _, model = tiny_model
+        clean = model(tiny_ids)
+        injector = FaultInjector.single_bit_flip(FaultSite.LINEAR, seed=6, bit=14, dtype="fp16")
+        faulty = model(tiny_ids, injector=injector)
+        assert faulty.report.detected_any
+        np.testing.assert_allclose(faulty.logits, clean.logits, rtol=5e-2, atol=5e-2)
+
+    def test_multiple_faults_across_layers(self, tiny_model, tiny_ids):
+        _, model = tiny_model
+        specs = [
+            FaultSpec(site=FaultSite.GEMM_QK, bit=14),
+            FaultSpec(site=FaultSite.LINEAR, bit=14, occurrence=3),
+        ]
+        injector = FaultInjector(specs=specs, seed=9)
+        out = model(tiny_ids, injector=injector)
+        assert len(out.report.injected) == 2
+
+    def test_num_parameters_positive_and_scales(self):
+        small = TransformerModel(GPT2_SMALL.scaled(32, 1), attention_block_size=16)
+        large = TransformerModel(GPT2_SMALL.scaled(64, 2), attention_block_size=16)
+        assert 0 < small.num_parameters() < large.num_parameters()
+
+
+class TestTransformerCostModel:
+    def test_base_times_scale_with_model_size(self):
+        reports = {c.name: TransformerCostModel(c).report() for c in model_zoo()}
+        assert reports["BERT-Large"].base_time > reports["BERT-Base"].base_time
+        assert reports["T5-Small"].base_time < reports["BERT-Base"].base_time
+
+    def test_gpt2_per_token_time_in_paper_regime(self):
+        # The paper profiles ~5.6 ms per generated token for GPT2 at seq 512.
+        report = TransformerCostModel(GPT2_SMALL).report()
+        assert 2e-3 < report.base_time < 15e-3
+
+    def test_detection_overhead_small(self):
+        # Figure 15: error detection costs ~4-6% across the four models.
+        for config in model_zoo():
+            report = TransformerCostModel(config).report()
+            assert 0.01 < report.detection_overhead < 0.12
+
+    def test_correction_costs_more_than_detection(self):
+        for config in model_zoo():
+            report = TransformerCostModel(config).report()
+            assert report.correction_overhead > report.detection_overhead
+            assert report.correction_overhead < 0.25
+
+    def test_more_faults_cost_more(self):
+        model = TransformerCostModel(GPT2_SMALL)
+        assert (
+            model.report(faults_per_attention=2).correction_time
+            > model.report(faults_per_attention=1).correction_time
+        )
+
+    def test_report_times_ordered(self):
+        report = TransformerCostModel(BERT_BASE).report()
+        assert report.base_time < report.detection_time < report.correction_time
