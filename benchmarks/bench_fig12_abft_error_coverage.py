@@ -4,14 +4,21 @@ Left plot: fraction of fault events corrected by the 8-wide tensor checksum vs
 the traditional single-column checksum, as a function of the computational bit
 error rate.  Right plot: fault-detection rate and false-alarm rate of the
 strided checksum as a function of the relative error threshold.
+
+Both experiments are driven through the declarative campaign runner
+(:mod:`repro.fault.runner`), so the exact same specs can be run sharded and
+checkpointed from the command line::
+
+    python -m repro.fault.runner fig12_spec.json --workers 8 --results fig12.jsonl
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.reporting import format_series, format_table
-from repro.fault.campaign import abft_detection_sweep, abft_error_coverage
+from repro.analysis.reporting import format_table, format_threshold_sweep
+from repro.fault.campaign import abft_error_coverage
+from repro.fault.runner import CampaignSpec, run_campaign
 
 from common import emit
 
@@ -26,13 +33,20 @@ THRESHOLDS = [0.01, 0.1, 0.2, 0.3, 0.4, 0.48, 0.6, 0.8, 1.0]
 N_TRIALS = 40
 
 
+def coverage_spec(bit_error_rate: float, scheme: str) -> CampaignSpec:
+    return CampaignSpec(
+        campaign="abft_error_coverage",
+        n_trials=N_TRIALS,
+        seed=7,
+        params={"bit_error_rate": bit_error_rate, "scheme": scheme},
+        name=f"fig12-coverage-{scheme}-{bit_error_rate:.0e}",
+    )
+
+
 @pytest.fixture(scope="module")
 def coverage_results():
     return {
-        scheme: {
-            ber: abft_error_coverage(ber, n_trials=N_TRIALS, scheme=scheme, seed=7)
-            for ber in BIT_ERROR_RATES
-        }
+        scheme: {ber: run_campaign(coverage_spec(ber, scheme)) for ber in BIT_ERROR_RATES}
         for scheme in ("tensor", "element")
     }
 
@@ -65,16 +79,15 @@ def test_figure12_left_error_coverage(coverage_results):
 
 
 def test_figure12_right_detection_vs_threshold():
-    points = abft_detection_sweep(THRESHOLDS, n_trials=60, seed=11)
-    emit(
-        "Figure 12 (right)",
-        "\n".join(
-            [
-                format_series("fault detection rate", THRESHOLDS, [p.detection_rate for p in points]),
-                format_series("false alarm rate", THRESHOLDS, [p.false_alarm_rate for p in points]),
-            ]
-        ),
+    spec = CampaignSpec(
+        campaign="abft_detection_sweep",
+        n_trials=60,
+        seed=8,
+        params={"thresholds": THRESHOLDS},
+        name="fig12-threshold-sweep",
     )
+    points = run_campaign(spec)
+    emit("Figure 12 (right)", format_threshold_sweep(points))
     detection = {p.threshold: p.detection_rate for p in points}
     false_alarm = {p.threshold: p.false_alarm_rate for p in points}
     # Both curves decrease with the threshold; tiny thresholds alarm on FP16

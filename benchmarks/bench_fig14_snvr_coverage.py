@@ -1,12 +1,18 @@
-"""Figure 14: SNVR detection/false-alarm trade-off and post-restriction error distribution."""
+"""Figure 14: SNVR detection/false-alarm trade-off and post-restriction error distribution.
+
+Both experiments run as declarative campaign specs on
+:mod:`repro.fault.runner`; the same specs are shardable and resumable from
+the ``python -m repro.fault.runner`` command line.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import format_series, format_table
-from repro.fault.campaign import restriction_error_distribution, snvr_detection_sweep
+from repro.analysis.reporting import format_table, format_threshold_sweep
+from repro.fault.campaign import restriction_error_distribution
+from repro.fault.runner import CampaignSpec, run_campaign
 
 from common import emit
 
@@ -14,13 +20,19 @@ THRESHOLDS = [1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1]
 
 
 def test_figure14_left_detection_vs_threshold():
-    points = snvr_detection_sweep(THRESHOLDS, n_trials=60, seed=21)
+    spec = CampaignSpec(
+        campaign="snvr_detection_sweep",
+        n_trials=60,
+        seed=21,
+        params={"thresholds": THRESHOLDS},
+        name="fig14-threshold-sweep",
+    )
+    points = run_campaign(spec)
     emit(
         "Figure 14 (left)",
         "\n".join(
             [
-                format_series("fault detection rate", THRESHOLDS, [p.detection_rate for p in points]),
-                format_series("false alarm rate", THRESHOLDS, [p.false_alarm_rate for p in points]),
+                format_threshold_sweep(points),
                 "note: the paper's optimum sits at 7e-6 because its checksum GEMM runs on",
                 "Tensor Cores; the FP16-emulated checksum here has a higher round-off floor,",
                 "so the crossover moves to ~5e-3 while the curve shapes are unchanged.",
@@ -37,9 +49,19 @@ def test_figure14_left_detection_vs_threshold():
     assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
 
 
+def restriction_spec(method: str) -> CampaignSpec:
+    return CampaignSpec(
+        campaign="restriction_error_distribution",
+        n_trials=120,
+        seed=22,
+        params={"method": method},
+        name=f"fig14-restriction-{method}",
+    )
+
+
 def test_figure14_right_error_distribution():
-    selective = restriction_error_distribution("selective", n_trials=120, seed=22)
-    traditional = restriction_error_distribution("traditional", n_trials=120, seed=22)
+    selective = run_campaign(restriction_spec("selective"))
+    traditional = run_campaign(restriction_spec("traditional"))
     edges, sel_hist = selective.error_distribution(bins=10, upper=0.2)
     _, trad_hist = traditional.error_distribution(bins=10, upper=0.2)
     centers = [f"{0.5 * (edges[i] + edges[i + 1]):.2f}" for i in range(len(sel_hist))]

@@ -1,20 +1,26 @@
 """Fault-injection campaign: measure detection and correction across pipeline stages.
 
 Sweeps single-event upsets over every protected stage of the fused attention
-kernel (GEMM I, exponentiation, GEMM II, rescale, normalisation, reduce-sum),
-over a range of bit positions, and reports per-stage detection / correction
-rates plus the residual output error -- a miniature version of the resilience
-study behind Figures 12 and 14.
+kernel (GEMM I, exponentiation, GEMM II, rescale, normalisation, reduce-sum)
+as one declarative campaign per stage on the parallel, resumable runner
+(:mod:`repro.fault.runner`) -- a miniature version of the resilience study
+behind Figures 12 and 14.
 
-Run with:  python examples/fault_injection_campaign.py
+Run with:  python examples/fault_injection_campaign.py [--workers N]
+                                                       [--trials N]
+                                                       [--results-dir DIR]
+
+With ``--results-dir`` every stage checkpoints its trials to a JSONL file, so
+an interrupted sweep resumes where it stopped (and re-running a completed
+sweep is instant).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import argparse
 
-from repro import AttentionConfig, EFTAttentionOptimized, FaultInjector, FaultSite
-from repro.attention import standard_attention
+from repro import FaultSite
+from repro.fault.runner import CampaignSpec, run_campaign
 
 SITES = [
     FaultSite.GEMM_QK,
@@ -30,43 +36,49 @@ FP16_BITS = [8, 10, 12, 13, 14, 15]
 FP32_BITS = [20, 23, 26, 28, 30, 31]
 
 
-def main(trials_per_point: int = 5) -> None:
-    rng = np.random.default_rng(1)
-    seq_len, head_dim = 192, 64
-    q = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-    k = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-    v = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-    reference = standard_attention(q, k, v)
+def site_spec(site: FaultSite, n_trials: int) -> CampaignSpec:
+    fp16_site = site in (FaultSite.GEMM_QK, FaultSite.SUBTRACT_EXP)
+    return CampaignSpec(
+        campaign="efta_site_resilience",
+        n_trials=n_trials,
+        seed=1,
+        params={
+            "site": site.value,
+            "bits": FP16_BITS if fp16_site else FP32_BITS,
+            "dtype": "fp16" if fp16_site else "fp32",
+            "seq_len": 192,
+            "head_dim": 64,
+            "block_size": 64,
+        },
+        name=f"site-{site.value}",
+    )
 
-    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=64)
-    attention = EFTAttentionOptimized(config)
 
-    print(f"{'site':<14} {'trials':>6} {'detected':>9} {'repaired':>9} {'clean out':>10} {'max rel err':>12}")
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1, help="worker processes per campaign")
+    parser.add_argument("--trials", type=int, default=30, help="trials per pipeline stage")
+    parser.add_argument(
+        "--results-dir", default=None, help="checkpoint directory (enables resume)"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"{'site':<14} {'trials':>6} {'detected':>9} {'repaired':>9} "
+        f"{'clean out':>10} {'max rel err':>12}"
+    )
     print("-" * 66)
     for site in SITES:
-        fp16_site = site in (FaultSite.GEMM_QK, FaultSite.SUBTRACT_EXP)
-        bits = FP16_BITS if fp16_site else FP32_BITS
-        dtype = "fp16" if fp16_site else "fp32"
-        trials = detected = repaired = clean_out = 0
-        worst = 0.0
-        # The normalisation runs once per row block (not per inner iteration),
-        # so it is matched without a block constraint.
-        block = None if site == FaultSite.NORMALIZE else (0, 1)
-        for bit in bits:
-            for seed in range(trials_per_point):
-                injector = FaultInjector.single_bit_flip(
-                    site, seed=seed, bit=bit, dtype=dtype, block=block
-                )
-                output, report = attention(q, k, v, injector=injector)
-                trials += 1
-                detected += int(report.detected_any)
-                repaired += int(report.total_corrections > 0)
-                rel_err = float(np.abs(output - reference).max() / np.abs(reference).max())
-                worst = max(worst, rel_err)
-                clean_out += int(rel_err < 0.02)
+        spec = site_spec(site, args.trials)
+        results_path = (
+            f"{args.results_dir}/{spec.label}.jsonl" if args.results_dir else None
+        )
+        result = run_campaign(spec, n_workers=args.workers, results_path=results_path)
+        worst = max(o.output_rel_error for o in result.outcomes)
+        clean = sum(1 for o in result.outcomes if o.output_rel_error < 0.02) / result.n_trials
         print(
-            f"{site.value:<14} {trials:>6} {detected / trials:>8.0%} {repaired / trials:>8.0%} "
-            f"{clean_out / trials:>9.0%} {worst:>12.3e}"
+            f"{site.value:<14} {result.n_trials:>6} {result.detection_rate:>8.0%} "
+            f"{result.coverage:>8.0%} {clean:>9.0%} {worst:>12.3e}"
         )
 
     print(

@@ -1,13 +1,20 @@
 """Analysis helpers: overhead/speedup arithmetic and table formatting for the benches."""
 
 from repro.analysis.overhead import geometric_mean, overhead_percent, scaled_series, speedup
-from repro.analysis.reporting import format_series, format_table
+from repro.analysis.reporting import (
+    format_campaign_result,
+    format_series,
+    format_table,
+    format_threshold_sweep,
+)
 
 __all__ = [
     "geometric_mean",
     "overhead_percent",
     "scaled_series",
     "speedup",
+    "format_campaign_result",
     "format_series",
     "format_table",
+    "format_threshold_sweep",
 ]

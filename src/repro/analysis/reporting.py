@@ -33,6 +33,33 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[float], fmt: str
     return f"{name}: {pairs}"
 
 
+def format_campaign_result(result, title: str | None = None) -> str:
+    """Render a campaign aggregate (anything with ``CampaignResult.summary()``)."""
+    stats = result.summary()
+    return format_table(
+        ["trials", "detection rate", "false alarm rate", "coverage", "mean output error"],
+        [
+            [
+                stats["n_trials"],
+                stats["detection_rate"],
+                stats["false_alarm_rate"],
+                stats["coverage"],
+                stats["mean_output_error"],
+            ]
+        ],
+        title=title,
+    )
+
+
+def format_threshold_sweep(points, title: str | None = None) -> str:
+    """Render a threshold sweep (duck-typed ``ThresholdSweepPoint`` list)."""
+    thresholds = [p.threshold for p in points]
+    lines = [] if title is None else [title]
+    lines.append(format_series("fault detection rate", thresholds, [p.detection_rate for p in points]))
+    lines.append(format_series("false alarm rate", thresholds, [p.false_alarm_rate for p in points]))
+    return "\n".join(lines)
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"

@@ -1,4 +1,4 @@
-"""Fault-injection framework: fault model, injector, campaigns and metrics.
+"""Fault-injection framework: fault model, injector, campaign runner, metrics.
 
 The fault model follows Section 2.2 of the paper: transient computing-unit
 faults (single event upsets) silently corrupt freshly computed values by
@@ -6,19 +6,60 @@ flipping bits; memory faults are assumed handled by ECC and interconnect
 faults by FT-MPI, so injection targets the *outputs of computation steps*
 (GEMM tiles, exponentials, reductions), not stored operands.
 
+Monte-Carlo campaigns (the evidence behind Figures 12 and 14 and Tables 1-2)
+run on a declarative runner: a :class:`~repro.fault.runner.CampaignSpec`
+names a registered per-trial kernel and its parameters, and
+:class:`~repro.fault.runner.CampaignRunner` shards the trials across
+``multiprocessing`` workers with per-trial derived seeds
+(``SeedSequence.spawn``), checkpoints each finished trial to JSONL and
+resumes interrupted runs -- producing bit-identical aggregates regardless of
+worker count.  New workloads plug in with::
+
+    from repro.fault.runner import register_campaign
+
+    @register_campaign("my_campaign")
+    def _my_trial(rng, params):
+        ...  # one Monte-Carlo trial
+        return {"injected": 1, "detected": 1, "corrected": 1, "output_rel_error": 0.0}
+
+and run either programmatically (:func:`~repro.fault.runner.run_campaign`)
+or from a JSON spec file via ``python -m repro.fault.runner spec.json
+--workers 4 --results out.jsonl``.
+
 * :mod:`repro.fault.models` -- fault sites, fault specifications, SEU / BER
   sampling.
 * :mod:`repro.fault.injector` -- the :class:`FaultInjector` used by the
   protected kernels, plus bit-error-rate style corruption helpers.
 * :mod:`repro.fault.metrics` -- per-trial outcomes and campaign aggregates
   (detection rate, false-alarm rate, coverage, error distributions).
-* :mod:`repro.fault.campaign` -- the Monte-Carlo experiments behind
-  Figures 12 and 14.
+* :mod:`repro.fault.runner` -- the declarative, parallel, resumable campaign
+  runner: spec, trial-kernel registry, JSONL persistence and CLI.
+* :mod:`repro.fault.campaign` -- the registered trial kernels and thin
+  wrappers behind Figures 12 and 14.
 """
 
 from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
 from repro.fault.injector import FaultInjector, inject_bit_errors
 from repro.fault.metrics import CampaignResult, TrialOutcome
+
+#: Runner names resolved lazily (PEP 562) so that ``python -m
+#: repro.fault.runner`` does not import the runner module twice.
+_RUNNER_EXPORTS = (
+    "CampaignRunner",
+    "CampaignSpec",
+    "available_campaigns",
+    "register_campaign",
+    "run_campaign",
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.fault import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "FaultSite",
@@ -28,4 +69,9 @@ __all__ = [
     "inject_bit_errors",
     "CampaignResult",
     "TrialOutcome",
+    "CampaignRunner",
+    "CampaignSpec",
+    "available_campaigns",
+    "register_campaign",
+    "run_campaign",
 ]

@@ -5,6 +5,13 @@ according to the configured model (bit-error rate or single-event upset),
 applies one of the protection schemes, and aggregates detection / correction /
 false-alarm statistics into a :class:`repro.fault.metrics.CampaignResult` or a
 per-threshold sweep table.
+
+Every campaign is implemented as a per-trial kernel registered on
+:mod:`repro.fault.runner` (``trial(rng, params) -> record``), so all of them
+can be sharded across workers, checkpointed to JSONL and resumed, and driven
+from declarative spec files via ``python -m repro.fault.runner``.  The
+original entry points below are thin wrappers that build a
+:class:`~repro.fault.runner.CampaignSpec` and run it in-process.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.core.snvr import exp_checksum_propagate, strided_products
 from repro.core.strided_abft import StridedABFT, stride_class_counts
 from repro.fault.injector import inject_bit_errors
 from repro.fault.metrics import CampaignResult, TrialOutcome
+from repro.fault.runner import CampaignSpec, register_campaign, run_campaign
 from repro.fp.bitflip import flip_bit
 from repro.fp.float16 import fp16_matmul
 from repro.gemm.checksum import (
@@ -30,6 +38,69 @@ from repro.gemm.checksum import (
 # --------------------------------------------------------------------------- #
 # Figure 12 (left): error coverage of tensor vs element checksums under BER
 # --------------------------------------------------------------------------- #
+@register_campaign("abft_error_coverage")
+def _abft_error_coverage_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One coverage trial: burst fault events against one ABFT scheme."""
+    scheme = params.get("scheme", "tensor")
+    if scheme not in ("tensor", "element"):
+        raise ValueError("scheme must be 'tensor' or 'element'")
+    bit_error_rate = float(params["bit_error_rate"])
+    rows = int(params.get("rows", 128))
+    cols = int(params.get("cols", 128))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    rtol = float(params.get("rtol", 0.02))
+    atol = 1e-5
+    compute_bits = rows * cols * depth * 2 * 16
+
+    q = rng.standard_normal((rows, depth)).astype(np.float32)
+    k = rng.standard_normal((cols, depth)).astype(np.float32)
+    reference = fp16_matmul(q, k.T)
+    corrupted = reference.copy()
+
+    if scheme == "tensor":
+        abft = StridedABFT(AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride))
+        checksums = abft.score_block_checksums(q, k, scale=1.0)
+    else:
+        ca1, ca2 = encode_column_checksums(q)
+        col_check1 = fp16_matmul(ca1[None, :], k.T)[0]
+        col_check2 = fp16_matmul(ca2[None, :], k.T)[0]
+
+    n_events = max(1, int(rng.poisson(bit_error_rate * compute_bits)))
+    events: list[list[tuple[int, int]]] = []
+    for _ in range(n_events):
+        row = int(rng.integers(rows))
+        start = int(rng.integers(cols))
+        length = int(min(1 + rng.geometric(0.6), stride, cols - start))
+        positions = [(row, start + offset) for offset in range(length)]
+        for pos in positions:
+            bit = int(rng.integers(8, 16))  # high mantissa / exponent / sign
+            corrupted[pos] = flip_bit(float(corrupted[pos]), bit, np.float16)
+        events.append(positions)
+
+    if scheme == "tensor":
+        verify_strided_checksums(
+            corrupted, checksums.check1, checksums.check2, stride=stride, atol=atol, rtol=rtol
+        )
+    else:
+        verify_column_checksums(corrupted, col_check1, col_check2, atol=atol, rtol=rtol)
+
+    noise_floor = rtol * float(np.abs(reference).mean()) * stride
+    corrected_events = 0
+    for positions in events:
+        if all(abs(corrupted[pos] - reference[pos]) <= noise_floor for pos in positions):
+            corrected_events += 1
+    rel_err = float(
+        np.max(np.abs(corrupted - reference)) / max(np.max(np.abs(reference)), 1e-12)
+    )
+    return TrialOutcome(
+        injected=n_events,
+        detected=n_events,
+        corrected=corrected_events,
+        output_rel_error=rel_err,
+    ).to_dict()
+
+
 def abft_error_coverage(
     bit_error_rate: float,
     n_trials: int = 50,
@@ -62,62 +133,21 @@ def abft_error_coverage(
     """
     if scheme not in ("tensor", "element"):
         raise ValueError("scheme must be 'tensor' or 'element'")
-    rng = np.random.default_rng(seed)
-    result = CampaignResult()
-    atol = 1e-5
-    compute_bits = rows * cols * depth * 2 * 16
-    for _ in range(n_trials):
-        q = rng.standard_normal((rows, depth)).astype(np.float32)
-        k = rng.standard_normal((cols, depth)).astype(np.float32)
-        reference = fp16_matmul(q, k.T)
-        corrupted = reference.copy()
-
-        if scheme == "tensor":
-            abft = StridedABFT(AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride))
-            checksums = abft.score_block_checksums(q, k, scale=1.0)
-        else:
-            ca1, ca2 = encode_column_checksums(q)
-            col_check1 = fp16_matmul(ca1[None, :], k.T)[0]
-            col_check2 = fp16_matmul(ca2[None, :], k.T)[0]
-
-        n_events = max(1, int(rng.poisson(bit_error_rate * compute_bits)))
-        events: list[list[tuple[int, int]]] = []
-        for _ in range(n_events):
-            row = int(rng.integers(rows))
-            start = int(rng.integers(cols))
-            length = int(min(1 + rng.geometric(0.6), stride, cols - start))
-            positions = [(row, start + offset) for offset in range(length)]
-            for pos in positions:
-                bit = int(rng.integers(8, 16))  # high mantissa / exponent / sign
-                corrupted[pos] = flip_bit(float(corrupted[pos]), bit, np.float16)
-            events.append(positions)
-
-        if scheme == "tensor":
-            verify_strided_checksums(
-                corrupted, checksums.check1, checksums.check2, stride=stride, atol=atol, rtol=rtol
-            )
-        else:
-            verify_column_checksums(corrupted, col_check1, col_check2, atol=atol, rtol=rtol)
-
-        noise_floor = rtol * float(np.abs(reference).mean()) * stride
-        corrected_events = 0
-        for positions in events:
-            if all(
-                abs(corrupted[pos] - reference[pos]) <= noise_floor for pos in positions
-            ):
-                corrected_events += 1
-        rel_err = float(
-            np.max(np.abs(corrupted - reference)) / max(np.max(np.abs(reference)), 1e-12)
-        )
-        result.add(
-            TrialOutcome(
-                injected=n_events,
-                detected=n_events,
-                corrected=corrected_events,
-                output_rel_error=rel_err,
-            )
-        )
-    return result
+    spec = CampaignSpec(
+        campaign="abft_error_coverage",
+        n_trials=n_trials,
+        seed=seed,
+        params={
+            "bit_error_rate": bit_error_rate,
+            "scheme": scheme,
+            "rows": rows,
+            "cols": cols,
+            "depth": depth,
+            "stride": stride,
+            "rtol": rtol,
+        },
+    )
+    return run_campaign(spec)
 
 
 # --------------------------------------------------------------------------- #
@@ -130,6 +160,78 @@ class ThresholdSweepPoint:
     threshold: float
     detection_rate: float
     false_alarm_rate: float
+
+
+def threshold_sweep_aggregate(records: list[dict], params: dict) -> list[ThresholdSweepPoint]:
+    """Fold per-trial peak residuals into detection / false-alarm curves.
+
+    Each record carries the trial's largest clean-run and faulty-run relative
+    residual; a trial alarms at a threshold iff that peak exceeds it, which is
+    exactly the ``np.any(residual > threshold)`` test of the original sweeps.
+    """
+    _require_thresholds(params)
+    points = []
+    for threshold in params["thresholds"]:
+        false_alarms = sum(1 for r in records if r["max_clean_residual"] > threshold)
+        detections = sum(1 for r in records if r["max_faulty_residual"] > threshold)
+        points.append(
+            ThresholdSweepPoint(
+                threshold=float(threshold),
+                detection_rate=detections / len(records),
+                false_alarm_rate=false_alarms / len(records),
+            )
+        )
+    return points
+
+
+def _require_thresholds(params: dict) -> None:
+    if not params.get("thresholds"):
+        raise ValueError("sweep campaigns require a non-empty 'thresholds' param")
+
+
+#: Sentinel for a non-finite residual: a flip that drives the verification
+#: arithmetic to inf/NaN is trivially detectable (an isfinite check fires
+#: before any threshold compare), so it alarms at every threshold -- and the
+#: JSONL checkpoint stays valid JSON (NaN/Infinity are not RFC 8259).
+_NONFINITE_RESIDUAL = 1e300
+
+
+def _peak_residual(values: np.ndarray) -> float:
+    peak = float(np.max(values))
+    return peak if np.isfinite(peak) else _NONFINITE_RESIDUAL
+
+
+@register_campaign("abft_detection_sweep", aggregate=threshold_sweep_aggregate)
+def _abft_detection_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One sweep trial: clean and single-bit-flip residuals of strided ABFT."""
+    _require_thresholds(params)  # fail on trial 0, not after the whole campaign
+    rows = int(params.get("rows", 64))
+    cols = int(params.get("cols", 64))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
+    abft = StridedABFT(cfg)
+
+    q = rng.standard_normal((rows, depth)).astype(np.float32)
+    k = rng.standard_normal((cols, depth)).astype(np.float32)
+    scores = fp16_matmul(q, k.T)
+    checksums = abft.score_block_checksums(q, k, scale=1.0)
+    # The sweep reproduces the paper's normalisation: residuals are taken
+    # relative to the checksum value itself, which is why small thresholds
+    # alarm on round-off (the checksum is a signed sum and can be small)
+    # and the optimum sits near the middle of the sweep (0.48 on the A100).
+    reference = np.abs(np.asarray(checksums.check1, dtype=np.float64)) + 1e-6
+    clean_res = np.abs(abft.residuals(scores, checksums)) / reference
+
+    corrupted = scores.copy()
+    idx = (int(rng.integers(rows)), int(rng.integers(cols)))
+    bit = int(rng.integers(10, 16))  # a consequential (exponent / sign) bit flip
+    corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
+    faulty_res = np.abs(abft.residuals(corrupted, checksums)) / reference
+    return {
+        "max_clean_residual": _peak_residual(clean_res),
+        "max_faulty_residual": _peak_residual(faulty_res),
+    }
 
 
 def abft_detection_sweep(
@@ -149,46 +251,56 @@ def abft_detection_sweep(
     re-accumulation) and once with a single random bit flip injected
     (detection measurement).
     """
-    rng = np.random.default_rng(seed)
-    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
-    abft = StridedABFT(cfg)
-    residual_pairs: list[tuple[np.ndarray, np.ndarray]] = []
-    for _ in range(n_trials):
-        q = rng.standard_normal((rows, depth)).astype(np.float32)
-        k = rng.standard_normal((cols, depth)).astype(np.float32)
-        scores = fp16_matmul(q, k.T)
-        checksums = abft.score_block_checksums(q, k, scale=1.0)
-        # The sweep reproduces the paper's normalisation: residuals are taken
-        # relative to the checksum value itself, which is why small thresholds
-        # alarm on round-off (the checksum is a signed sum and can be small)
-        # and the optimum sits near the middle of the sweep (0.48 on the A100).
-        reference = np.abs(np.asarray(checksums.check1, dtype=np.float64)) + 1e-6
-        clean_res = np.abs(abft.residuals(scores, checksums)) / reference
-
-        corrupted = scores.copy()
-        idx = (int(rng.integers(rows)), int(rng.integers(cols)))
-        bit = int(rng.integers(10, 16))  # a consequential (exponent / sign) bit flip
-        corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
-        faulty_res = np.abs(abft.residuals(corrupted, checksums)) / reference
-        residual_pairs.append((clean_res, faulty_res))
-
-    points = []
-    for threshold in thresholds:
-        false_alarms = sum(1 for clean, _ in residual_pairs if np.any(clean > threshold))
-        detections = sum(1 for _, faulty in residual_pairs if np.any(faulty > threshold))
-        points.append(
-            ThresholdSweepPoint(
-                threshold=float(threshold),
-                detection_rate=detections / len(residual_pairs),
-                false_alarm_rate=false_alarms / len(residual_pairs),
-            )
-        )
-    return points
+    spec = CampaignSpec(
+        campaign="abft_detection_sweep",
+        n_trials=n_trials,
+        seed=seed,
+        params={
+            "thresholds": [float(t) for t in thresholds],
+            "rows": rows,
+            "cols": cols,
+            "depth": depth,
+            "stride": stride,
+        },
+    )
+    return run_campaign(spec)
 
 
 # --------------------------------------------------------------------------- #
 # Figure 14 (left): SNVR detection / false-alarm rate vs relative threshold
 # --------------------------------------------------------------------------- #
+@register_campaign("snvr_detection_sweep", aggregate=threshold_sweep_aggregate)
+def _snvr_detection_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One sweep trial: clean and faulty deviations of the EXP verification."""
+    _require_thresholds(params)  # fail on trial 0, not after the whole campaign
+    rows = int(params.get("rows", 64))
+    cols = int(params.get("cols", 64))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
+    abft = StridedABFT(cfg)
+    scale = cfg.effective_scale
+
+    q = rng.standard_normal((rows, depth)).astype(np.float32)
+    k = rng.standard_normal((cols, depth)).astype(np.float32)
+    scores = fp16_matmul(q, k.T) * np.float32(scale)
+    checksums = abft.score_block_checksums(q, k, scale)
+    row_max = scores.max(axis=1)
+    probs = np.exp(scores - row_max[:, None]).astype(np.float32)
+    p_check = exp_checksum_propagate(checksums.check1, row_max, checksums.class_counts)
+    clean_dev = np.abs(strided_products(probs, stride) - p_check) / np.abs(p_check)
+
+    corrupted = probs.copy()
+    idx = (int(rng.integers(rows)), int(rng.integers(cols)))
+    bit = int(rng.integers(8, 16))  # a consequential (high-order) bit flip
+    corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
+    faulty_dev = np.abs(strided_products(corrupted, stride) - p_check) / np.abs(p_check)
+    return {
+        "max_clean_residual": _peak_residual(clean_dev),
+        "max_faulty_residual": _peak_residual(faulty_dev),
+    }
+
+
 def snvr_detection_sweep(
     thresholds: list[float],
     n_trials: int = 50,
@@ -205,45 +317,106 @@ def snvr_detection_sweep(
     from the propagated checksum gives the false-alarm curve, a single bit
     flip in the probability block gives the detection curve.
     """
-    rng = np.random.default_rng(seed)
-    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
-    abft = StridedABFT(cfg)
-    scale = cfg.effective_scale
-    pairs: list[tuple[np.ndarray, np.ndarray]] = []
-    for _ in range(n_trials):
-        q = rng.standard_normal((rows, depth)).astype(np.float32)
-        k = rng.standard_normal((cols, depth)).astype(np.float32)
-        scores = fp16_matmul(q, k.T) * np.float32(scale)
-        checksums = abft.score_block_checksums(q, k, scale)
-        row_max = scores.max(axis=1)
-        probs = np.exp(scores - row_max[:, None]).astype(np.float32)
-        p_check = exp_checksum_propagate(checksums.check1, row_max, checksums.class_counts)
-        clean_dev = np.abs(strided_products(probs, stride) - p_check) / np.abs(p_check)
-
-        corrupted = probs.copy()
-        idx = (int(rng.integers(rows)), int(rng.integers(cols)))
-        bit = int(rng.integers(8, 16))  # a consequential (high-order) bit flip
-        corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
-        faulty_dev = np.abs(strided_products(corrupted, stride) - p_check) / np.abs(p_check)
-        pairs.append((clean_dev, faulty_dev))
-
-    points = []
-    for threshold in thresholds:
-        false_alarms = sum(1 for clean, _ in pairs if np.any(clean > threshold))
-        detections = sum(1 for _, faulty in pairs if np.any(faulty > threshold))
-        points.append(
-            ThresholdSweepPoint(
-                threshold=float(threshold),
-                detection_rate=detections / len(pairs),
-                false_alarm_rate=false_alarms / len(pairs),
-            )
-        )
-    return points
+    spec = CampaignSpec(
+        campaign="snvr_detection_sweep",
+        n_trials=n_trials,
+        seed=seed,
+        params={
+            "thresholds": [float(t) for t in thresholds],
+            "rows": rows,
+            "cols": cols,
+            "depth": depth,
+            "stride": stride,
+        },
+    )
+    return run_campaign(spec)
 
 
 # --------------------------------------------------------------------------- #
 # Figure 14 (right): error distribution after restriction
 # --------------------------------------------------------------------------- #
+@register_campaign("restriction_error_distribution")
+def _restriction_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One restriction trial: corrupt softmax numerator/denominator, restrict."""
+    method = params.get("method", "selective")
+    if method not in ("selective", "traditional"):
+        raise ValueError("method must be 'selective' or 'traditional'")
+    seq_len = int(params.get("seq_len", 256))
+    head_dim = int(params.get("head_dim", 64))
+    block_size = int(params.get("block_size", 16))
+    peakedness = float(params.get("peakedness", 4.0))
+    n_blocks = -(-seq_len // block_size)
+
+    q = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    k = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    v = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    scale = peakedness / np.sqrt(head_dim)
+    scores = (q @ k.T).astype(np.float32) * np.float32(scale)
+    row_max = scores.max(axis=1)
+    probs = np.exp(scores - row_max[:, None]).astype(np.float32)
+    rowsum = probs.sum(axis=1)
+    reference = (probs / rowsum[:, None]) @ v
+
+    # SNVR lower bound: per-block local maxima relative to the global max.
+    block_maxes = np.stack(
+        [scores[:, b * block_size : (b + 1) * block_size].max(axis=1) for b in range(n_blocks)],
+        axis=0,
+    )
+    lower_bound = np.exp(block_maxes - row_max[None, :]).sum(axis=0)
+
+    row = int(rng.integers(seq_len))
+    corrupt_numerator = bool(rng.integers(2))
+    corrupted_probs = probs.copy()
+    corrupted_rowsum = rowsum.copy()
+    detected = False
+    if corrupt_numerator:
+        col = int(rng.integers(seq_len))
+        bit = int(rng.integers(8, 16))
+        corrupted_probs[row, col] = flip_bit(float(probs[row, col]), bit, np.float16)
+        corrupted_rowsum = corrupted_probs.sum(axis=1)
+    else:
+        bit = int(rng.integers(18, 31))
+        corrupted_rowsum[row] = flip_bit(float(rowsum[row]), bit, np.float32)
+
+    if method == "selective":
+        if corrupt_numerator:
+            # Checksum reuse pinpoints the corrupted stride class; the
+            # exponentiation is recomputed from the (uncorrupted) scores.
+            delta = np.abs(corrupted_probs[row] - probs[row])
+            if np.any(delta > 0.02 * max(float(probs[row].max()), 1e-6)):
+                detected = True
+                corrupted_probs[row] = probs[row]
+                corrupted_rowsum = corrupted_probs.sum(axis=1)
+        else:
+            bad = (
+                (corrupted_rowsum < lower_bound)
+                | (corrupted_rowsum > seq_len)
+                | ~np.isfinite(corrupted_rowsum)
+            )
+            detected = bool(bad[row])
+            corrupted_rowsum = np.where(bad, lower_bound, corrupted_rowsum)
+        normalised = corrupted_probs / corrupted_rowsum[:, None]
+    else:
+        raw = corrupted_probs / corrupted_rowsum[:, None]
+        normalised = np.clip(raw, 0.0, 1.0)
+        # The clamp "detects" a fault only if it actually restricted a value
+        # (NaNs compare unequal to themselves and so count as restricted).
+        detected = bool(np.any(normalised != raw))
+
+    output = normalised @ v
+    denom = max(float(np.abs(reference[row]).max()), 1e-12)
+    abs_err = float(np.abs(output[row] - reference[row]).max())
+    if not np.isfinite(abs_err):
+        abs_err = 10.0 * denom  # a corrupted normaliser of zero yields inf/nan output
+    rel_err = min(abs_err / denom, 10.0)
+    return TrialOutcome(
+        injected=1,
+        detected=int(detected),
+        corrected=int(rel_err < 0.02),
+        output_rel_error=rel_err,
+    ).to_dict()
+
+
 def restriction_error_distribution(
     method: str = "selective",
     n_trials: int = 100,
@@ -280,75 +453,60 @@ def restriction_error_distribution(
     """
     if method not in ("selective", "traditional"):
         raise ValueError("method must be 'selective' or 'traditional'")
-    rng = np.random.default_rng(seed)
-    result = CampaignResult()
-    n_blocks = -(-seq_len // block_size)
-    for _ in range(n_trials):
-        q = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-        k = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-        v = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
-        scale = peakedness / np.sqrt(head_dim)
-        scores = (q @ k.T).astype(np.float32) * np.float32(scale)
-        row_max = scores.max(axis=1)
-        probs = np.exp(scores - row_max[:, None]).astype(np.float32)
-        rowsum = probs.sum(axis=1)
-        reference = (probs / rowsum[:, None]) @ v
+    spec = CampaignSpec(
+        campaign="restriction_error_distribution",
+        n_trials=n_trials,
+        seed=seed,
+        params={
+            "method": method,
+            "seq_len": seq_len,
+            "head_dim": head_dim,
+            "block_size": block_size,
+            "peakedness": peakedness,
+        },
+    )
+    return run_campaign(spec)
 
-        # SNVR lower bound: per-block local maxima relative to the global max.
-        block_maxes = np.stack(
-            [scores[:, b * block_size : (b + 1) * block_size].max(axis=1) for b in range(n_blocks)],
-            axis=0,
-        )
-        lower_bound = np.exp(block_maxes - row_max[None, :]).sum(axis=0)
 
-        row = int(rng.integers(seq_len))
-        corrupt_numerator = bool(rng.integers(2))
-        corrupted_probs = probs.copy()
-        corrupted_rowsum = rowsum.copy()
-        detected = False
-        if corrupt_numerator:
-            col = int(rng.integers(seq_len))
-            bit = int(rng.integers(8, 16))
-            corrupted_probs[row, col] = flip_bit(float(probs[row, col]), bit, np.float16)
-            corrupted_rowsum = corrupted_probs.sum(axis=1)
-        else:
-            bit = int(rng.integers(18, 31))
-            corrupted_rowsum[row] = flip_bit(float(rowsum[row]), bit, np.float32)
+# --------------------------------------------------------------------------- #
+# Pipeline-stage resilience of the fused kernel (examples/fault_injection_*)
+# --------------------------------------------------------------------------- #
+@register_campaign("efta_site_resilience")
+def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One SEU trial against a chosen stage of the fused protected kernel."""
+    # Imported here so spec-driven campaigns only pay for the fused kernel
+    # when this workload is actually selected.
+    from repro.attention.standard import standard_attention
+    from repro.core.efta_optimized import EFTAttentionOptimized
+    from repro.fault.injector import FaultInjector
+    from repro.fault.models import FaultSite
 
-        if method == "selective":
-            if corrupt_numerator:
-                # Checksum reuse pinpoints the corrupted stride class; the
-                # exponentiation is recomputed from the (uncorrupted) scores.
-                delta = np.abs(corrupted_probs[row] - probs[row])
-                if np.any(delta > 0.02 * max(float(probs[row].max()), 1e-6)):
-                    detected = True
-                    corrupted_probs[row] = probs[row]
-                    corrupted_rowsum = corrupted_probs.sum(axis=1)
-            else:
-                bad = (
-                    (corrupted_rowsum < lower_bound)
-                    | (corrupted_rowsum > seq_len)
-                    | ~np.isfinite(corrupted_rowsum)
-                )
-                detected = bool(bad[row])
-                corrupted_rowsum = np.where(bad, lower_bound, corrupted_rowsum)
-            normalised = corrupted_probs / corrupted_rowsum[:, None]
-        else:
-            normalised = np.clip(corrupted_probs / corrupted_rowsum[:, None], 0.0, 1.0)
-            detected = True
+    site = FaultSite(params["site"])
+    bits = [int(b) for b in params["bits"]]
+    dtype = str(params.get("dtype", "fp16"))
+    seq_len = int(params.get("seq_len", 192))
+    head_dim = int(params.get("head_dim", 64))
+    block_size = int(params.get("block_size", 64))
 
-        output = normalised @ v
-        denom = max(float(np.abs(reference[row]).max()), 1e-12)
-        abs_err = float(np.abs(output[row] - reference[row]).max())
-        if not np.isfinite(abs_err):
-            abs_err = 10.0 * denom  # a corrupted normaliser of zero yields inf/nan output
-        rel_err = min(abs_err / denom, 10.0)
-        result.add(
-            TrialOutcome(
-                injected=1,
-                detected=int(detected),
-                corrected=int(rel_err < 0.02),
-                output_rel_error=rel_err,
-            )
-        )
-    return result
+    q = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    k = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    v = rng.standard_normal((seq_len, head_dim)).astype(np.float32)
+    reference = standard_attention(q, k, v)
+
+    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=block_size)
+    attention = EFTAttentionOptimized(config)
+    bit = bits[int(rng.integers(len(bits)))]
+    # The normalisation runs once per row block (not per inner iteration),
+    # so it is matched without a block constraint.
+    block = None if site == FaultSite.NORMALIZE else (0, 1)
+    injector = FaultInjector.single_bit_flip(
+        site, seed=int(rng.integers(2**31)), bit=bit, dtype=dtype, block=block
+    )
+    output, report = attention(q, k, v, injector=injector)
+    rel_err = float(np.abs(output - reference).max() / np.abs(reference).max())
+    return TrialOutcome(
+        injected=1,
+        detected=int(report.detected_any),
+        corrected=int(report.total_corrections > 0),
+        output_rel_error=rel_err,
+    ).to_dict()

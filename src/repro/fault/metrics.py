@@ -35,6 +35,27 @@ class TrialOutcome:
     false_alarm: bool = False
     output_rel_error: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (one line of a campaign's JSONL results)."""
+        return {
+            "injected": int(self.injected),
+            "detected": int(self.detected),
+            "corrected": int(self.corrected),
+            "false_alarm": bool(self.false_alarm),
+            "output_rel_error": float(self.output_rel_error),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialOutcome":
+        """Inverse of :meth:`to_dict` (missing fields take their defaults)."""
+        return cls(
+            injected=int(data.get("injected", 0)),
+            detected=int(data.get("detected", 0)),
+            corrected=int(data.get("corrected", 0)),
+            false_alarm=bool(data.get("false_alarm", False)),
+            output_rel_error=float(data.get("output_rel_error", 0.0)),
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -93,6 +114,16 @@ class CampaignResult:
         if not trials:
             return 0.0
         return float(np.mean([o.output_rel_error for o in trials]))
+
+    def summary(self) -> dict:
+        """The aggregate statistics as a plain dict (CLI / report payload)."""
+        return {
+            "n_trials": self.n_trials,
+            "detection_rate": self.detection_rate,
+            "false_alarm_rate": self.false_alarm_rate,
+            "coverage": self.coverage,
+            "mean_output_error": self.mean_output_error,
+        }
 
     def error_distribution(self, bins: int = 20, upper: float = 0.2) -> tuple[np.ndarray, np.ndarray]:
         """Histogram of post-correction relative output errors (Figure 14, right).

@@ -1,0 +1,464 @@
+"""Declarative, parallel, resumable Monte-Carlo campaign runner.
+
+The seed implemented every fault-injection campaign as a bespoke serial loop.
+This module factors the shared machinery out into three pieces so new
+campaigns (new fault models, new protection schemes, transformer-level
+sweeps) plug in with a single registered function:
+
+* :class:`CampaignSpec` -- a declarative description of one campaign: which
+  registered trial kernel to run, the workload / fault-model / protection
+  parameters it takes, the trial count and the root seed.  Specs round-trip
+  losslessly through ``to_dict``/``from_dict`` and ``to_json``/``from_json``,
+  so campaigns can live in version-controlled JSON files.
+* a **trial-kernel registry** -- :func:`register_campaign` binds a name to a
+  per-trial function ``trial(rng, params) -> record`` plus an aggregator that
+  folds the per-trial records into the campaign's result object (a
+  :class:`~repro.fault.metrics.CampaignResult` by default).
+* :class:`CampaignRunner` -- shards the trials of a spec across
+  ``multiprocessing`` workers.  Every trial draws from its own generator
+  seeded by ``SeedSequence(spec.seed).spawn(n_trials)[trial]``, so the
+  aggregate result is bit-identical regardless of worker count or scheduling.
+  With a ``results_path`` the runner appends one JSONL line per finished
+  trial and, on a later invocation, skips trial indices already on disk --
+  a campaign killed mid-run resumes to the same final result.  Completed
+  result files are rewritten in canonical (trial-sorted) form, so the bytes
+  on disk are also identical across worker counts and interruptions.
+
+Run a spec file from the command line with::
+
+    python -m repro.fault.runner spec.json --workers 4 --results out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.fault.metrics import CampaignResult, TrialOutcome
+
+#: A per-trial record: a JSON-serialisable mapping produced by a trial kernel.
+TrialRecord = dict
+TrialFn = Callable[[np.random.Generator, dict], TrialRecord]
+AggregateFn = Callable[[Sequence[TrialRecord], dict], Any]
+
+
+# --------------------------------------------------------------------------- #
+# Campaign specification
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one Monte-Carlo campaign.
+
+    Attributes
+    ----------
+    campaign:
+        Name of a registered trial kernel (see :func:`register_campaign`).
+    n_trials:
+        Number of independent trials to run.
+    seed:
+        Root seed.  Per-trial generators derive from
+        ``SeedSequence(seed).spawn(n_trials)``, so the same spec yields the
+        same trials no matter how they are sharded.
+    params:
+        Kernel-specific parameters (workload shape, fault model, protection
+        scheme, thresholds ...).  Values must be JSON-serialisable.
+    name:
+        Optional human-readable label; defaults to the campaign name.
+    """
+
+    campaign: str
+    n_trials: int
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.campaign:
+            raise ValueError("campaign name must be non-empty")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative (SeedSequence entropy)")
+
+    @property
+    def label(self) -> str:
+        """The display name (explicit ``name`` or the campaign name)."""
+        return self.name or self.campaign
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (deep-copied via JSON, so mutation is safe)."""
+        return {
+            "campaign": self.campaign,
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+            "params": json.loads(json.dumps(self.params)),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {"campaign", "n_trials", "seed", "params", "name"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec fields: {sorted(unknown)}")
+        return cls(
+            campaign=str(data["campaign"]),
+            n_trials=int(data["n_trials"]),
+            seed=int(data.get("seed", 0)),
+            # Deep-copied for symmetry with to_dict: the frozen spec must not
+            # alias the caller's nested mutables.
+            params=json.loads(json.dumps(data.get("params", {}))),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON form."""
+        return _canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def trial_seeds(self) -> list[np.random.SeedSequence]:
+        """The per-trial seed sequences (``SeedSequence(seed).spawn``)."""
+        return np.random.SeedSequence(self.seed).spawn(self.n_trials)
+
+
+# --------------------------------------------------------------------------- #
+# Trial-kernel registry
+# --------------------------------------------------------------------------- #
+def default_aggregate(records: Sequence[TrialRecord], params: dict) -> CampaignResult:
+    """Fold :class:`TrialOutcome`-shaped records into a :class:`CampaignResult`."""
+    result = CampaignResult()
+    for record in records:
+        result.add(TrialOutcome.from_dict(record))
+    return result
+
+
+@dataclass(frozen=True)
+class CampaignDefinition:
+    """A registered campaign: per-trial kernel plus record aggregator."""
+
+    name: str
+    trial: TrialFn
+    aggregate: AggregateFn = default_aggregate
+
+
+_REGISTRY: dict[str, CampaignDefinition] = {}
+
+
+def register_campaign(name: str, aggregate: AggregateFn | None = None) -> Callable[[TrialFn], TrialFn]:
+    """Decorator registering ``trial(rng, params) -> record`` under ``name``.
+
+    The record must be a JSON-serialisable dict (it is persisted verbatim to
+    the JSONL results file).  ``aggregate(records, params)`` builds the final
+    result object; the default treats records as :class:`TrialOutcome` fields
+    and returns a :class:`CampaignResult`.
+    """
+
+    def decorator(trial: TrialFn) -> TrialFn:
+        if name in _REGISTRY:
+            raise ValueError(f"campaign {name!r} is already registered")
+        _REGISTRY[name] = CampaignDefinition(
+            name=name, trial=trial, aggregate=aggregate or default_aggregate
+        )
+        return trial
+
+    return decorator
+
+
+def _ensure_builtin_campaigns() -> None:
+    # The built-in kernels live in repro.fault.campaign, which imports this
+    # module for the decorator; import lazily to break the cycle (and so
+    # spawned workers repopulate the registry on first use).
+    import repro.fault.campaign  # noqa: F401
+
+
+def get_campaign(name: str) -> CampaignDefinition:
+    """Look up a registered campaign definition by name."""
+    if name not in _REGISTRY:
+        _ensure_builtin_campaigns()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; registered: {available_campaigns()}"
+        ) from None
+
+
+def available_campaigns() -> list[str]:
+    """Sorted names of all registered campaigns."""
+    _ensure_builtin_campaigns()
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# Worker entry point (top-level so it pickles under any start method)
+# --------------------------------------------------------------------------- #
+def _iter_trial_records(spec_dict: dict, indices: Sequence[int]):
+    spec = CampaignSpec.from_dict(spec_dict)
+    definition = get_campaign(spec.campaign)
+    # spawn() children are prefix-stable, so deriving only up to the largest
+    # index this batch needs yields the same per-trial seeds as spawning all
+    # n_trials (see tests/properties/test_property_campaign.py).
+    seeds = np.random.SeedSequence(spec.seed).spawn(max(indices) + 1)
+    params_json = json.dumps(spec.params)
+    for index in indices:
+        rng = np.random.default_rng(seeds[index])
+        # Every trial gets its own deep copy: a kernel that mutates nested
+        # params must not leak state into later trials of the same batch
+        # (that would make results depend on the sharding).
+        yield index, definition.trial(rng, json.loads(params_json))
+
+
+def _run_trial_batch(spec_dict: dict, indices: Sequence[int]) -> list[tuple[int, TrialRecord]]:
+    return list(_iter_trial_records(spec_dict, indices))
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec`, optionally sharded and checkpointed.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    n_workers:
+        Number of ``multiprocessing`` workers.  ``1`` runs in-process (no
+        pool), which also makes locally-registered (non-importable) trial
+        kernels usable.
+    results_path:
+        Optional JSONL checkpoint file.  One line per finished trial is
+        appended as it completes; an existing file is used to skip
+        already-finished trial indices (resume), and the file is rewritten in
+        canonical trial-sorted order once the campaign completes.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        n_workers: int = 1,
+        results_path: str | Path | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.spec = spec
+        self.n_workers = n_workers
+        self.results_path = Path(results_path) if results_path is not None else None
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Any:
+        """Run (or resume) the campaign and return its aggregated result."""
+        definition = get_campaign(self.spec.campaign)
+        records = self._collect_records()
+        ordered = [records[i] for i in range(self.spec.n_trials)]
+        if self.results_path is not None:
+            self._write_canonical(ordered)
+        return definition.aggregate(ordered, dict(self.spec.params))
+
+    # ------------------------------------------------------------------ #
+    def _collect_records(self) -> dict[int, TrialRecord]:
+        records = self._load_checkpoint()
+        pending = [i for i in range(self.spec.n_trials) if i not in records]
+        if not pending:
+            return records
+        spec_dict = self.spec.to_dict()
+        sink = self._open_checkpoint(header=not records)
+        try:
+            if self.n_workers == 1:
+                # In-process: also usable with trial kernels registered only
+                # in this interpreter (tests, notebooks).  Iterating lazily
+                # checkpoints each trial as it finishes, so a killed serial
+                # run loses at most one trial.
+                for index, record in _iter_trial_records(spec_dict, pending):
+                    records[index] = record
+                    self._checkpoint(sink, index, record)
+            else:
+                # Small batches bound how much work a kill can lose: each
+                # finished batch is checkpointed before the next is handed out.
+                n_chunks = max(self.n_workers * 4, -(-len(pending) // 32))
+                chunks = _chunk(pending, n_chunks)
+                ctx = _mp_context()
+                with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
+                    batches = pool.imap_unordered(
+                        functools.partial(_run_trial_batch, spec_dict), chunks, chunksize=1
+                    )
+                    for batch in batches:
+                        for index, record in batch:
+                            records[index] = record
+                            self._checkpoint(sink, index, record)
+        finally:
+            if sink is not None:
+                sink.close()
+        return records
+
+    # ------------------------------------------------------------------ #
+    def _load_checkpoint(self) -> dict[int, TrialRecord]:
+        records: dict[int, TrialRecord] = {}
+        if self.results_path is None or not self.results_path.exists():
+            return records
+        spec_key = _resume_key(self.spec.to_dict())
+        for line in self.results_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run; recompute
+            if "spec" in entry:
+                if _resume_key(entry["spec"]) != spec_key:
+                    raise ValueError(
+                        f"{self.results_path} holds results for a different "
+                        "campaign spec; refusing to resume"
+                    )
+                continue
+            index = entry.get("trial")
+            if isinstance(index, int) and 0 <= index < self.spec.n_trials:
+                records[index] = entry["record"]
+        return records
+
+    def _open_checkpoint(self, header: bool):
+        if self.results_path is None:
+            return None
+        self.results_path.parent.mkdir(parents=True, exist_ok=True)
+        sink = self.results_path.open("a")
+        if sink.tell() == 0:
+            if header:
+                sink.write(_canonical_json({"spec": self.spec.to_dict()}) + "\n")
+                sink.flush()
+        else:
+            # A kill mid-write can leave a torn final line without a newline;
+            # start appended records on a fresh line so they stay parseable.
+            # Probe only the last byte -- the file can be huge.
+            with self.results_path.open("rb") as existing:
+                existing.seek(-1, os.SEEK_END)
+                last_byte = existing.read(1)
+            if last_byte != b"\n":
+                sink.write("\n")
+                sink.flush()
+        return sink
+
+    def _checkpoint(self, sink, index: int, record: TrialRecord) -> None:
+        if sink is None:
+            return
+        sink.write(_canonical_json({"trial": index, "record": record}) + "\n")
+        sink.flush()
+
+    def _write_canonical(self, ordered: Sequence[TrialRecord]) -> None:
+        lines = [_canonical_json({"spec": self.spec.to_dict()})]
+        lines += [
+            _canonical_json({"trial": i, "record": record})
+            for i, record in enumerate(ordered)
+        ]
+        content = ("\n".join(lines) + "\n").encode()
+        if (
+            self.results_path.exists()
+            and self.results_path.stat().st_size == len(content)
+            and self.results_path.read_bytes() == content
+        ):
+            return
+        # Atomic replace: a kill during the rewrite must not destroy trial
+        # lines that were already safely checkpointed.
+        tmp = self.results_path.with_name(self.results_path.name + ".tmp")
+        tmp.write_bytes(content)
+        os.replace(tmp, self.results_path)
+
+
+def _resume_key(spec_dict: dict) -> str:
+    """Resume-identity of a spec: everything but the cosmetic ``name`` label."""
+    data = {key: value for key, value in spec_dict.items() if key != "name"}
+    return _canonical_json(data)
+
+
+def _chunk(items: Sequence[int], n_chunks: int) -> list[list[int]]:
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size = -(-len(items) // n_chunks)
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def _mp_context():
+    # fork is the cheap path but is only safe on Linux (macOS frameworks and
+    # BLAS threads abort in forked children); elsewhere use the platform
+    # default -- the registry repopulates lazily, so spawn works too.
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    n_workers: int = 1,
+    results_path: str | Path | None = None,
+) -> Any:
+    """Convenience wrapper: build a :class:`CampaignRunner` and run it."""
+    return CampaignRunner(spec, n_workers=n_workers, results_path=results_path).run()
+
+
+# --------------------------------------------------------------------------- #
+# Command-line interface
+# --------------------------------------------------------------------------- #
+def format_result(result: Any, title: str | None = None) -> str:
+    """Render an aggregated campaign result as a plain-text report."""
+    from repro.analysis.reporting import format_campaign_result, format_threshold_sweep
+
+    if isinstance(result, CampaignResult):
+        return format_campaign_result(result, title=title)
+    if isinstance(result, list) and result and hasattr(result[0], "threshold"):
+        return format_threshold_sweep(result, title=title)
+    prefix = f"{title}\n" if title else ""
+    return prefix + repr(result)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fault.runner",
+        description="Run a declarative fault-injection campaign from a JSON spec file.",
+    )
+    parser.add_argument("spec", nargs="?", help="path to a CampaignSpec JSON file")
+    parser.add_argument("--workers", type=int, default=1, help="number of worker processes")
+    parser.add_argument(
+        "--results", default=None, help="JSONL checkpoint file (enables resume)"
+    )
+    parser.add_argument(
+        "--list-campaigns", action="store_true", help="list registered campaigns and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_campaigns:
+        for name in available_campaigns():
+            print(name)
+        return 0
+    if args.spec is None:
+        parser.error("a spec file is required (or use --list-campaigns)")
+    spec = CampaignSpec.from_json(Path(args.spec).read_text())
+    result = run_campaign(spec, n_workers=args.workers, results_path=args.results)
+    print(format_result(result, title=f"campaign: {spec.label} ({spec.n_trials} trials)"))
+    return 0
+
+
+if __name__ == "__main__":
+    # Under ``python -m repro.fault.runner`` this file executes as
+    # ``__main__`` while the trial kernels register themselves against the
+    # canonical ``repro.fault.runner`` module; delegate so both sides share
+    # one registry.
+    from repro.fault import runner as _canonical
+
+    sys.exit(_canonical.main())

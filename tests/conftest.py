@@ -1,4 +1,8 @@
-"""Shared fixtures for the FT-Transformer reproduction test suite."""
+"""Shared fixtures for the FT-Transformer reproduction test suite.
+
+Multi-hundred-trial campaign sweeps are marked ``@pytest.mark.slow`` and are
+skipped by default so tier-1 stays fast; run them with ``pytest --runslow``.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +10,30 @@ import numpy as np
 import pytest
 
 from repro.core.config import AttentionConfig
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (multi-hundred-trial campaigns)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: multi-hundred-trial campaign sweeps (run with --runslow)"
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list[pytest.Item]) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow campaign sweep; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

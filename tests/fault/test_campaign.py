@@ -54,9 +54,9 @@ class TestDetectionSweeps:
         assert points[-1].false_alarm_rate == 0.0
 
     def test_abft_good_threshold_separates(self):
-        # Around the paper's operating point the detection rate stays high
-        # while false alarms mostly vanish.
-        (point,) = abft_detection_sweep([0.3], n_trials=30, seed=2)
+        # At the paper's operating point (0.48 on the A100) the detection
+        # rate stays high while false alarms mostly vanish.
+        (point,) = abft_detection_sweep([0.48], n_trials=30, seed=2)
         assert point.detection_rate > 0.6
         assert point.false_alarm_rate < 0.3
 
