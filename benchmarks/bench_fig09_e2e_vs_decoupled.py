@@ -14,10 +14,9 @@ import pytest
 from repro.analysis.overhead import geometric_mean, speedup
 from repro.analysis.reporting import format_table
 from repro.core.config import AttentionConfig
-from repro.core.efta_optimized import EFTAttentionOptimized
-from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+from repro.core.schemes import build_scheme
 
-from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
+from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
 
 #: Speedups of FT-protected EFTA over the decoupled framework read off Figure 9.
 PAPER_SPEEDUP_PERCENT = {
@@ -27,15 +26,17 @@ PAPER_SPEEDUP_PERCENT = {
 
 
 def _sweep(heads: int, head_dim: int):
+    """Walk the Figure 9 sweep through the protection-scheme registry."""
     rows = []
     speedups = []
     for seq_len in PAPER_SEQ_LENGTHS:
-        workload = AttentionWorkload.with_total_tokens(seq_len, heads=heads, head_dim=head_dim)
-        model = AttentionCostModel(workload)
-        efta = model.efta_breakdown(unified_verification=False)
+        batch = paper_batch(seq_len)
+        config = AttentionConfig(seq_len=seq_len, head_dim=head_dim)
+        efta = build_scheme("efta", config).cost_breakdown(batch, heads)
         baseline = efta.base_time
-        decoupled = model.decoupled_ft_breakdown()
-        fits = model.decoupled_fits_in_memory()
+        decoupled_scheme = build_scheme("decoupled", config)
+        decoupled = decoupled_scheme.cost_breakdown(batch, heads)
+        fits = decoupled_scheme.fits_in_memory(batch, heads)
         paper = PAPER_SPEEDUP_PERCENT[(heads, head_dim)][seq_len]
         measured = speedup(decoupled.total_time, efta.total_time) * 100 if fits else None
         if measured is not None:
@@ -89,7 +90,9 @@ def test_figure9_average_speedup_bands():
 def test_benchmark_efta_functional_kernel(benchmark, small_attention_problem):
     """Time the functional (NumPy) protected EFTA kernel itself."""
     q, k, v = small_attention_problem
-    efta = EFTAttentionOptimized(AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64))
+    efta = build_scheme(
+        "efta_unified", AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64)
+    )
     out, report = benchmark(efta, q, k, v)
     assert report.clean
     assert out.shape == q.shape

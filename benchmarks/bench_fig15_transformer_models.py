@@ -76,11 +76,32 @@ def test_figure15_average_bands():
     assert 0.04 < correction < 0.15
 
 
+def test_figure15_model_runs_under_every_scheme():
+    """Cross-scheme check: one tiny model forward per registered scheme.
+
+    The scheme registry is the single code path behind every comparison in
+    this file; each registered scheme must run the Transformer end-to-end and
+    agree with the unprotected baseline on fault-free inputs.
+    """
+    from repro.core.schemes import available_schemes
+
+    config = GPT2_SMALL.scaled(hidden_dim=32, num_layers=1)
+    ids = np.random.default_rng(0).integers(0, config.vocab_size, size=(1, 32))
+    logits = {}
+    for scheme in available_schemes():
+        model = TransformerModel(config, seed=0, attention_block_size=16, scheme=scheme)
+        output = model(ids)
+        assert output.report.clean, scheme
+        logits[scheme] = output.logits
+    for scheme, values in logits.items():
+        np.testing.assert_allclose(values, logits["none"], rtol=5e-2, atol=5e-2, err_msg=scheme)
+
+
 @pytest.mark.benchmark(group="fig15")
 def test_benchmark_tiny_transformer_protected_step(benchmark):
     """Time one protected forward pass of a scaled-down GPT2 block stack."""
     config = GPT2_SMALL.scaled(hidden_dim=64, num_layers=2)
-    model = TransformerModel(config, seed=0, attention_block_size=32)
+    model = TransformerModel(config, seed=0, attention_block_size=32, scheme="efta_unified")
     ids = np.random.default_rng(0).integers(0, config.vocab_size, size=(1, 64))
     output = benchmark(model.forward, ids)
     assert output.report.clean
@@ -90,7 +111,7 @@ def test_benchmark_tiny_transformer_protected_step(benchmark):
 def test_benchmark_tiny_transformer_correction_step(benchmark):
     """Time a protected forward pass that must detect and correct one attention fault."""
     config = GPT2_SMALL.scaled(hidden_dim=64, num_layers=2)
-    model = TransformerModel(config, seed=0, attention_block_size=32)
+    model = TransformerModel(config, seed=0, attention_block_size=32, scheme="efta_unified")
     ids = np.random.default_rng(0).integers(0, config.vocab_size, size=(1, 64))
 
     def run():

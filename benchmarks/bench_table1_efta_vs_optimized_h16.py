@@ -7,10 +7,9 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.config import AttentionConfig
-from repro.core.efta import EFTAttention
-from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+from repro.core.schemes import build_scheme
 
-from common import MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
+from common import MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
 
 #: Table 1 of the paper: (EFTA ms, EFTA overhead %, EFTA-opt ms, EFTA-opt overhead %).
 PAPER_TABLE1 = {
@@ -27,13 +26,14 @@ HEAD_DIM = MEDIUM_ATTENTION["head_dim"]
 
 
 def _rows():
+    """Compare the two EFTA variants through the protection-scheme registry."""
     rows = []
     measured = {}
     for seq_len in PAPER_SEQ_LENGTHS:
-        workload = AttentionWorkload.with_total_tokens(seq_len, heads=HEADS, head_dim=HEAD_DIM)
-        model = AttentionCostModel(workload)
-        unopt = model.efta_breakdown(unified_verification=False)
-        opt = model.efta_breakdown(unified_verification=True)
+        batch = paper_batch(seq_len)
+        config = AttentionConfig(seq_len=seq_len, head_dim=HEAD_DIM)
+        unopt = build_scheme("efta", config).cost_breakdown(batch, HEADS)
+        opt = build_scheme("efta_unified", config).cost_breakdown(batch, HEADS)
         paper = PAPER_TABLE1[seq_len]
         measured[seq_len] = (unopt, opt)
         rows.append(
@@ -89,7 +89,9 @@ def test_table1_speedup_of_unified_verification():
 def test_benchmark_unoptimized_efta_kernel(benchmark, small_attention_problem):
     """Time the per-iteration-verification EFTA variant on the functional kernel."""
     q, k, v = small_attention_problem
-    efta = EFTAttention(AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64))
+    efta = build_scheme(
+        "efta", AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64)
+    )
     out, report = benchmark(efta, q, k, v)
     assert report.clean
     assert out.shape == q.shape

@@ -7,10 +7,9 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.config import AttentionConfig
-from repro.core.efta_optimized import EFTAttentionOptimized
-from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload
+from repro.core.schemes import build_scheme
 
-from common import LARGE_ATTENTION, PAPER_SEQ_LENGTHS, emit
+from common import LARGE_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
 
 #: Table 2 of the paper: (EFTA ms, EFTA overhead %, EFTA-opt ms, EFTA-opt overhead %).
 PAPER_TABLE2 = {
@@ -27,13 +26,14 @@ HEAD_DIM = LARGE_ATTENTION["head_dim"]
 
 
 def _rows():
+    """Compare the two EFTA variants through the protection-scheme registry."""
     rows = []
     measured = {}
     for seq_len in PAPER_SEQ_LENGTHS:
-        workload = AttentionWorkload.with_total_tokens(seq_len, heads=HEADS, head_dim=HEAD_DIM)
-        model = AttentionCostModel(workload)
-        unopt = model.efta_breakdown(unified_verification=False)
-        opt = model.efta_breakdown(unified_verification=True)
+        batch = paper_batch(seq_len)
+        config = AttentionConfig(seq_len=seq_len, head_dim=HEAD_DIM)
+        unopt = build_scheme("efta", config).cost_breakdown(batch, HEADS)
+        opt = build_scheme("efta_unified", config).cost_breakdown(batch, HEADS)
         paper = PAPER_TABLE2[seq_len]
         measured[seq_len] = (unopt, opt)
         rows.append(
@@ -78,8 +78,9 @@ def test_table2_large_config_has_lower_overhead_than_table1():
     _, large = _rows()
     medium_overheads = []
     for seq_len in PAPER_SEQ_LENGTHS:
-        workload = AttentionWorkload.with_total_tokens(seq_len, heads=16, head_dim=64)
-        medium_overheads.append(AttentionCostModel(workload).efta_breakdown(unified_verification=True).overhead)
+        batch = paper_batch(seq_len)
+        scheme = build_scheme("efta_unified", AttentionConfig(seq_len=seq_len, head_dim=64))
+        medium_overheads.append(scheme.cost_breakdown(batch, 16).overhead)
     large_overheads = [m[1].overhead for m in large.values()]
     assert float(np.mean(large_overheads)) < float(np.mean(medium_overheads))
 
@@ -90,7 +91,7 @@ def test_benchmark_optimized_efta_large_head_dim(benchmark, bench_rng):
     q = bench_rng.standard_normal((128, 128)).astype(np.float32)
     k = bench_rng.standard_normal((128, 128)).astype(np.float32)
     v = bench_rng.standard_normal((128, 128)).astype(np.float32)
-    efta = EFTAttentionOptimized(AttentionConfig(seq_len=128, head_dim=128, block_size=64))
+    efta = build_scheme("efta_unified", AttentionConfig(seq_len=128, head_dim=128, block_size=64))
     out, report = benchmark(efta, q, k, v)
     assert report.clean
     assert out.shape == q.shape

@@ -5,6 +5,20 @@ from __future__ import annotations
 #: Sequence lengths of the paper's attention sweeps (total tokens fixed at 16K).
 PAPER_SEQ_LENGTHS = [512, 1024, 2048, 4096, 8192, 16384]
 
+#: Fixed total token count of the sweeps (batch = TOTAL_TOKENS / seq_len).
+TOTAL_TOKENS = 16 * 1024
+
+
+def paper_batch(seq_len: int) -> int:
+    """Batch size of the paper's fixed-token sweeps (16K tokens split over seq_len).
+
+    Delegates to ``AttentionWorkload.with_total_tokens`` so the
+    scheme-registry benchmarks share the one canonical batch formula.
+    """
+    from repro.hardware.costmodel import AttentionWorkload
+
+    return AttentionWorkload.with_total_tokens(seq_len, total_tokens=TOTAL_TOKENS).batch
+
 #: The two attention configurations evaluated in Section 4.1.
 MEDIUM_ATTENTION = dict(heads=16, head_dim=64)   # hidden dim 1024
 LARGE_ATTENTION = dict(heads=32, head_dim=128)   # hidden dim 4096

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AttentionConfig, AttentionCostModel, AttentionWorkload, EFTAttentionOptimized
+from repro import AttentionConfig, AttentionCostModel, AttentionWorkload, build_scheme
 from repro.attention import standard_attention
 
 GIB = 1024**3
@@ -47,7 +47,7 @@ def functional_long_sequence() -> None:
     k = rng.standard_normal((1024, 64)).astype(np.float32)
     v = rng.standard_normal((1024, 64)).astype(np.float32)
     config = AttentionConfig(seq_len=1024, head_dim=64, block_size=128)
-    output, report = EFTAttentionOptimized(config)(q, k, v)
+    output, report = build_scheme("efta_unified", config)(q, k, v)
     reference = standard_attention(q, k, v)
     print(f"  max |EFTA - standard| = {np.abs(output - reference).max():.2e}")
     print(f"  report: {report.summary()}")

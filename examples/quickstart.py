@@ -1,9 +1,9 @@
 """Quickstart: protected attention in a dozen lines.
 
-Runs the optimized end-to-end fault tolerant attention (EFTA) on a random
-multi-head problem, verifies it against standard attention, injects a single
-bit flip into the first attention GEMM, and shows that the kernel detects and
-corrects it transparently.
+Builds the optimized end-to-end fault tolerant attention (EFTA) from the
+protection-scheme registry by name, verifies it against standard attention,
+injects a single bit flip into the first attention GEMM, and shows that the
+kernel detects and corrects it transparently.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AttentionConfig, EFTAttentionOptimized, FaultInjector, FaultSite
+from repro import AttentionConfig, FaultInjector, FaultSite, available_schemes, build_scheme
 from repro.attention import standard_attention
 
 
@@ -24,7 +24,8 @@ def main() -> None:
     v = rng.standard_normal((batch, heads, seq_len, head_dim)).astype(np.float32)
 
     config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=128)
-    attention = EFTAttentionOptimized(config)
+    print(f"registered protection schemes: {available_schemes()}")
+    attention = build_scheme("efta_unified", config)
 
     # 1. Fault-free run: identical (up to FP16 round-off) to standard attention.
     output, report = attention(q, k, v)

@@ -20,6 +20,11 @@ from repro.core import (
     EFTAttention,
     EFTAttentionOptimized,
     FaultToleranceReport,
+    ProtectionScheme,
+    available_schemes,
+    build_scheme,
+    get_scheme,
+    register_scheme,
 )
 from repro.fault import FaultInjector, FaultSite, FaultSpec
 from repro.hardware import A100_PCIE_40GB, AttentionCostModel, AttentionWorkload
@@ -32,6 +37,11 @@ __all__ = [
     "EFTAttention",
     "EFTAttentionOptimized",
     "FaultToleranceReport",
+    "ProtectionScheme",
+    "available_schemes",
+    "build_scheme",
+    "get_scheme",
+    "register_scheme",
     "FaultInjector",
     "FaultSite",
     "FaultSpec",

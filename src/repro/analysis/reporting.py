@@ -51,6 +51,58 @@ def format_campaign_result(result, title: str | None = None) -> str:
     )
 
 
+def format_sweep_result(result, title: str | None = None) -> str:
+    """Render a cross-campaign sweep as one merged table.
+
+    ``result`` is a :class:`repro.fault.sweep.SweepResult`: one row per grid
+    point, the grid axes as the leading columns and the campaign aggregate
+    statistics (duck-typed ``CampaignResult.summary()``) as the trailing
+    columns.  When the campaign's aggregate has no ``summary()`` (e.g. the
+    threshold-sweep kernels return :class:`ThresholdSweepPoint` lists), the
+    stat columns are replaced by one compact ``result`` column.
+    """
+    axes = result.sweep.axes
+    if title is None:
+        title = (
+            f"sweep: {result.sweep.label} "
+            f"({len(result.entries)} campaigns x {result.sweep.n_trials} trials)"
+        )
+    stat_keys = ["n_trials", "detection_rate", "false_alarm_rate", "coverage", "mean_output_error"]
+
+    def stats(entry):
+        # Duck-typed CampaignResult: a summary() carrying the expected keys.
+        if not hasattr(entry.result, "summary"):
+            return None
+        values = entry.result.summary()
+        if not all(k in values for k in stat_keys):
+            return None
+        return values
+
+    if all(stats(entry) is not None for entry in result.entries):
+        headers = axes + ["trials", "detection", "false alarm", "coverage", "mean err"]
+        rows = [
+            [entry.point[a] for a in axes] + [stats(entry)[k] for k in stat_keys]
+            for entry in result.entries
+        ]
+    else:
+        headers = axes + ["result"]
+        rows = [
+            [entry.point[a] for a in axes] + [_fmt_compact_result(entry.result)]
+            for entry in result.entries
+        ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt_compact_result(result) -> str:
+    """One-cell rendering of a campaign aggregate without a ``summary()``."""
+    if isinstance(result, list) and result and hasattr(result[0], "threshold"):
+        return "; ".join(
+            f"t={_fmt(p.threshold)} det={p.detection_rate:.2f} fa={p.false_alarm_rate:.2f}"
+            for p in result
+        )
+    return repr(result)
+
+
 def format_threshold_sweep(points, title: str | None = None) -> str:
     """Render a threshold sweep (duck-typed ``ThresholdSweepPoint`` list)."""
     thresholds = [p.threshold for p in points]
@@ -62,5 +114,9 @@ def format_threshold_sweep(points, title: str | None = None) -> str:
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
+        # Sub-milli magnitudes (bit-error rates, tight thresholds) would
+        # render as 0.000 at fixed precision; fall back to significant digits.
+        if cell != 0.0 and abs(cell) < 1e-3:
+            return f"{cell:.3g}"
         return f"{cell:.3f}"
     return str(cell)

@@ -14,6 +14,9 @@ Modules
 * :mod:`repro.core.efta` -- end-to-end fault tolerant attention, Algorithm 1.
 * :mod:`repro.core.efta_optimized` -- the unified-verification variant
   (EFTA-opt in Tables 1 and 2).
+* :mod:`repro.core.schemes` -- the pluggable protection-scheme registry
+  (``"none"``, ``"efta"``, ``"efta_unified"``, ``"decoupled"``) giving every
+  variant one ``forward``/``cost_breakdown`` interface selected by name.
 """
 
 from repro.core.config import AttentionConfig, FaultToleranceReport
@@ -29,6 +32,13 @@ from repro.core.snvr import (
 from repro.core.decoupled import DecoupledFTAttention
 from repro.core.efta import EFTAttention
 from repro.core.efta_optimized import EFTAttentionOptimized
+from repro.core.schemes import (
+    ProtectionScheme,
+    available_schemes,
+    build_scheme,
+    get_scheme,
+    register_scheme,
+)
 
 __all__ = [
     "AttentionConfig",
@@ -44,4 +54,9 @@ __all__ = [
     "DecoupledFTAttention",
     "EFTAttention",
     "EFTAttentionOptimized",
+    "ProtectionScheme",
+    "available_schemes",
+    "build_scheme",
+    "get_scheme",
+    "register_scheme",
 ]

@@ -118,8 +118,15 @@ class StridedABFT:
         o_check1: np.ndarray,
         o_check2: np.ndarray,
         rtol: float | None = None,
+        magnitude: np.ndarray | None = None,
     ) -> ChecksumVerdict:
-        """Verify/correct the output accumulator against its running checksums."""
+        """Verify/correct the output accumulator against its running checksums.
+
+        ``magnitude`` is the per-class accumulated magnitude reference (the
+        strided fold of ``|P| |V|`` carried alongside the output checksums);
+        without it a near-zero output class would be compared against its own
+        cancelled value and FP16 round-off could false-alarm.
+        """
         return verify_strided_checksums(
             o_block,
             o_check1,
@@ -127,6 +134,7 @@ class StridedABFT:
             stride=self.stride,
             atol=self.config.checksum_atol,
             rtol=self.config.output_checksum_rtol if rtol is None else rtol,
+            magnitude=magnitude,
         )
 
     def residuals(self, s_block: np.ndarray, checksums: BlockChecksums) -> np.ndarray:

@@ -34,22 +34,33 @@ or from a JSON spec file via ``python -m repro.fault.runner spec.json
   (detection rate, false-alarm rate, coverage, error distributions).
 * :mod:`repro.fault.runner` -- the declarative, parallel, resumable campaign
   runner: spec, trial-kernel registry, JSONL persistence and CLI.
+* :mod:`repro.fault.sweep` -- cross-campaign sweep grids: a
+  :class:`~repro.fault.sweep.SweepSpec` expands schemes x BERs x thresholds x
+  models into many campaigns and merges them into one report.
 * :mod:`repro.fault.campaign` -- the registered trial kernels and thin
-  wrappers behind Figures 12 and 14.
+  wrappers behind Figures 12 and 14, plus the ``transformer_inference``
+  model-level kernel.
 """
 
 from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
 from repro.fault.injector import FaultInjector, inject_bit_errors
 from repro.fault.metrics import CampaignResult, TrialOutcome
 
-#: Runner names resolved lazily (PEP 562) so that ``python -m
-#: repro.fault.runner`` does not import the runner module twice.
+#: Runner/sweep names resolved lazily (PEP 562) so that ``python -m
+#: repro.fault.runner`` / ``python -m repro.fault.sweep`` do not import their
+#: modules twice.
 _RUNNER_EXPORTS = (
     "CampaignRunner",
     "CampaignSpec",
     "available_campaigns",
     "register_campaign",
     "run_campaign",
+)
+_SWEEP_EXPORTS = (
+    "SweepEntry",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
 )
 
 
@@ -58,6 +69,10 @@ def __getattr__(name: str):
         from repro.fault import runner
 
         return getattr(runner, name)
+    if name in _SWEEP_EXPORTS:
+        from repro.fault import sweep
+
+        return getattr(sweep, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -74,4 +89,8 @@ __all__ = [
     "available_campaigns",
     "register_campaign",
     "run_campaign",
+    "SweepEntry",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
 ]

@@ -510,3 +510,155 @@ def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
         corrected=int(report.total_corrections > 0),
         output_rel_error=rel_err,
     ).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Transformer-level campaign: inject during a full TransformerModel forward
+# --------------------------------------------------------------------------- #
+#: Per-worker cache of (model, token ids, clean logits, site counts) fixtures
+#: keyed by the workload parameters; bounded so grid sweeps over many models
+#: stay small.
+_TRANSFORMER_FIXTURES: dict[tuple, tuple] = {}
+_TRANSFORMER_FIXTURE_LIMIT = 8
+
+
+class _SiteProbe:
+    """Injector stand-in that counts injection opportunities per fault site.
+
+    Duck-types the :class:`~repro.fault.injector.FaultInjector` surface the
+    kernels touch (``corrupt``, ``applied_count``, ``records``) but never
+    corrupts anything; one probed forward yields the exact number of
+    ``corrupt`` calls each site sees under a given scheme, which bounds the
+    ``occurrence`` draw so every planned fault actually lands.
+    """
+
+    applied_count = 0
+
+    def __init__(self) -> None:
+        from collections import Counter
+
+        self.counts = Counter()
+        self.records: list = []
+
+    def corrupt(self, site, tensor, block=None) -> None:
+        self.counts[site] += 1
+
+
+def _transformer_fixture(params: dict) -> tuple:
+    """Deterministically build (or fetch) the trial's model and clean oracle.
+
+    The model, the prompt, the fault-free logits and the per-site injection
+    opportunity counts depend only on ``params`` (never on the trial RNG), so
+    every trial of a campaign -- on any worker -- sees the identical workload
+    and the per-trial randomness is confined to the injected faults.
+    """
+    from repro.transformer.configs import get_config
+    from repro.transformer.model import TransformerModel
+
+    key = (
+        str(params.get("model", "GPT2")),
+        str(params.get("scheme", "efta_unified")),
+        int(params.get("hidden_dim", 32)),
+        int(params.get("num_layers", 2)),
+        int(params.get("seq_len", 16)),
+        int(params.get("attention_block_size", 16)),
+        int(params.get("model_seed", 0)),
+    )
+    if key in _TRANSFORMER_FIXTURES:
+        return _TRANSFORMER_FIXTURES[key]
+    name, scheme, hidden_dim, num_layers, seq_len, block_size, model_seed = key
+    config = get_config(name).scaled(hidden_dim=hidden_dim, num_layers=num_layers)
+    model = TransformerModel(
+        config, seed=model_seed, attention_block_size=block_size, scheme=scheme
+    )
+    ids = np.random.default_rng(model_seed + 1).integers(
+        0, config.vocab_size, size=(1, seq_len)
+    )
+    probe = _SiteProbe()
+    clean_logits = model(ids, injector=probe).logits
+    if len(_TRANSFORMER_FIXTURES) >= _TRANSFORMER_FIXTURE_LIMIT:
+        _TRANSFORMER_FIXTURES.clear()
+    _TRANSFORMER_FIXTURES[key] = (model, ids, clean_logits, dict(probe.counts))
+    return _TRANSFORMER_FIXTURES[key]
+
+
+@register_campaign("transformer_inference")
+def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict:
+    """One fault-injection trial against a full Transformer forward pass.
+
+    Parameters (all optional, JSON-serialisable):
+
+    * ``model`` -- Figure-15 configuration name (``"GPT2"``, ``"BERT-Base"``,
+      ``"BERT-Large"``, ``"T5-Small"``); the architecture is scaled down to
+      ``hidden_dim`` x ``num_layers`` so a trial stays cheap.
+    * ``scheme`` -- protection-scheme registry name the model runs under
+      (``"none"``, ``"efta"``, ``"efta_unified"``, ``"decoupled"``).
+    * ``bit_error_rate`` -- faults per computed bit; the number of faults per
+      forward is Poisson with mean ``BER * 2 * params * seq_len * 16`` (one
+      16-bit operand pair per MAC).  Zero-fault trials measure false alarms.
+      Without it, exactly one fault is injected (the SEU model).
+    * ``site`` -- fault site name (:class:`~repro.fault.models.FaultSite`), or
+      a list to sample from.  Default ``"linear"`` (present in all schemes).
+      Sites the scheme never executes are rejected.
+    * ``bits`` -- bit positions to sample; ``dtype`` -- ``"fp16"``/``"fp32"``.
+    * ``correction_tol`` -- relative logit deviation below which the faulty
+      forward counts as corrected (default 0.02).
+
+    The record is a :class:`~repro.fault.metrics.TrialOutcome`: detection from
+    the scheme's report, correction from comparing the faulty logits to the
+    fault-free oracle.
+    """
+    from repro.fault.injector import FaultInjector
+    from repro.fault.models import FaultSite, FaultSpec
+
+    model, ids, clean_logits, site_counts = _transformer_fixture(params)
+    sites = params.get("site", "linear")
+    if isinstance(sites, str):
+        sites = [sites]
+    sites = [FaultSite(str(s)) for s in sites]
+    missing = [s.value for s in sites if not site_counts.get(s)]
+    if missing:
+        executed = sorted(s.value for s in site_counts)
+        raise ValueError(
+            f"sites {missing} never execute under scheme "
+            f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
+        )
+    bits = [int(b) for b in params.get("bits", [12, 13, 14])]
+    dtype = str(params.get("dtype", "fp16"))
+    tol = float(params.get("correction_tol", 0.02))
+
+    if "bit_error_rate" in params:
+        ber = float(params["bit_error_rate"])
+        exposure_bits = 2.0 * model.num_parameters() * ids.shape[1] * 16.0
+        n_faults = int(rng.poisson(ber * exposure_bits))
+    else:
+        n_faults = 1
+
+    def one_spec() -> FaultSpec:
+        site = sites[int(rng.integers(len(sites)))]
+        # Drawing the occurrence over the probed per-site call count spreads
+        # faults uniformly over layers/blocks and guarantees they land.
+        return FaultSpec(
+            site=site,
+            bit=bits[int(rng.integers(len(bits)))],
+            dtype=dtype,
+            occurrence=int(rng.integers(site_counts[site])),
+        )
+
+    specs = [one_spec() for _ in range(n_faults)]
+    injector = FaultInjector(specs=specs, seed=int(rng.integers(2**31)))
+    output = model(ids, injector=injector)
+    applied = len(injector.records)
+
+    denom = max(float(np.abs(clean_logits).max()), 1e-12)
+    deviation = float(np.abs(output.logits - clean_logits).max())
+    if not np.isfinite(deviation):
+        deviation = 10.0 * denom
+    rel_err = min(deviation / denom, 10.0)
+    return TrialOutcome(
+        injected=applied,
+        detected=int(output.report.total_detections),
+        corrected=applied if rel_err < tol else 0,
+        false_alarm=bool(applied == 0 and output.report.detected_any),
+        output_rel_error=rel_err if applied else 0.0,
+    ).to_dict()

@@ -435,7 +435,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("spec", nargs="?", help="path to a CampaignSpec JSON file")
     parser.add_argument("--workers", type=int, default=1, help="number of worker processes")
     parser.add_argument(
-        "--results", default=None, help="JSONL checkpoint file (enables resume)"
+        "--results",
+        default=None,
+        help="checkpoint path enabling resume: a JSONL file for a campaign "
+        "spec, a directory of per-campaign JSONL files for a sweep spec",
     )
     parser.add_argument(
         "--list-campaigns", action="store_true", help="list registered campaigns and exit"
@@ -448,7 +451,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.spec is None:
         parser.error("a spec file is required (or use --list-campaigns)")
-    spec = CampaignSpec.from_json(Path(args.spec).read_text())
+    text = Path(args.spec).read_text()
+    from repro.fault.sweep import SweepSpec, is_sweep_dict, run_sweep
+
+    if is_sweep_dict(json.loads(text)):
+        # A sweep spec (it has a "grid"): expand and run every campaign.  The
+        # --results checkpoint becomes a directory of per-campaign files.
+        from repro.analysis.reporting import format_sweep_result
+
+        if args.results is not None and Path(args.results).is_file():
+            parser.error(
+                f"--results {args.results} is a file, but a sweep spec "
+                "checkpoints into a directory of per-campaign JSONL files"
+            )
+        sweep_result = run_sweep(
+            SweepSpec.from_json(text), n_workers=args.workers, results_dir=args.results
+        )
+        print(format_sweep_result(sweep_result))
+        return 0
+    spec = CampaignSpec.from_json(text)
     result = run_campaign(spec, n_workers=args.workers, results_path=args.results)
     print(format_result(result, title=f"campaign: {spec.label} ({spec.n_trials} trials)"))
     return 0

@@ -1,0 +1,288 @@
+"""Cross-campaign sweep grids: schemes x BERs x thresholds x models in one spec.
+
+A :class:`SweepSpec` is the grid-level analogue of
+:class:`~repro.fault.runner.CampaignSpec`: a base campaign plus a parameter
+grid.  Expansion takes the Cartesian product of the grid axes (axes in sorted
+key order, values in the order given) and yields one ``CampaignSpec`` per
+grid point; each expanded campaign runs on the existing checkpoint/resume
+:class:`~repro.fault.runner.CampaignRunner`, so a killed sweep resumes
+without re-running completed campaigns, and the merged cross-scheme report is
+identical for any worker count.
+
+The spec round-trips losslessly through JSON::
+
+    {
+      "campaign": "transformer_inference",
+      "n_trials": 100,
+      "seed": 7,
+      "base_params": {"site": "gemm_qk", "hidden_dim": 32},
+      "grid": {
+        "scheme": ["none", "efta_unified", "decoupled"],
+        "bit_error_rate": [1e-9, 1e-8]
+      },
+      "name": "fig15-coverage"
+    }
+
+Run it sharded and checkpointed from the command line with::
+
+    python -m repro.fault.sweep sweep.json --workers 8 --results-dir out/
+
+(``python -m repro.fault.runner`` recognises sweep specs too and delegates
+here.)  Every expanded campaign checkpoints its trials to
+``<results-dir>/NNN-<label>.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.fault.runner import CampaignRunner, CampaignSpec, _canonical_json
+
+
+# --------------------------------------------------------------------------- #
+# Sweep specification
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a grid of Monte-Carlo campaigns.
+
+    Attributes
+    ----------
+    campaign:
+        Name of the registered trial kernel every grid point runs.
+    n_trials:
+        Trials per expanded campaign.
+    grid:
+        Mapping of parameter name to the list of values to sweep.  The
+        expansion is the Cartesian product, axes iterated in sorted key order
+        and values in the order given -- fully deterministic.
+    base_params:
+        Parameters shared by every grid point; a grid axis overrides a base
+        key of the same name.
+    seed:
+        Root seed shared by every expanded campaign.  Sharing the seed gives
+        common random numbers across grid points: every scheme/BER cell sees
+        the same per-trial draws, which sharpens cross-cell comparisons.
+    name:
+        Optional sweep label; expanded campaigns are named
+        ``<label>/<axis>=<value>,...``.
+    """
+
+    campaign: str
+    n_trials: int
+    grid: dict = field(default_factory=dict)
+    base_params: dict = field(default_factory=dict)
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.campaign:
+            raise ValueError("campaign name must be non-empty")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative (SeedSequence entropy)")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"grid axis {axis!r} must be a non-empty list of values")
+
+    @property
+    def label(self) -> str:
+        """The display name (explicit ``name`` or the campaign name)."""
+        return self.name or self.campaign
+
+    @property
+    def axes(self) -> list[str]:
+        """Grid axis names in expansion (sorted) order."""
+        return sorted(self.grid)
+
+    # ------------------------------------------------------------------ #
+    def points(self) -> list[dict]:
+        """The grid points, in deterministic expansion order."""
+        axes = self.axes
+        if not axes:
+            return [{}]
+        return [
+            dict(zip(axes, combo))
+            for combo in itertools.product(*(list(self.grid[a]) for a in axes))
+        ]
+
+    def expanded(self) -> list[tuple[dict, CampaignSpec]]:
+        """``(grid point, campaign spec)`` pairs, in expansion order."""
+        pairs = []
+        for point in self.points():
+            tag = ",".join(f"{axis}={point[axis]}" for axis in self.axes)
+            spec = CampaignSpec(
+                campaign=self.campaign,
+                n_trials=self.n_trials,
+                seed=self.seed,
+                params={**self.base_params, **point},
+                name=f"{self.label}/{tag}" if tag else self.label,
+            )
+            pairs.append((point, spec))
+        return pairs
+
+    def expand(self) -> list[CampaignSpec]:
+        """One :class:`CampaignSpec` per grid point, in expansion order."""
+        return [spec for _, spec in self.expanded()]
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-dict form (deep-copied via JSON, so mutation is safe)."""
+        return {
+            "campaign": self.campaign,
+            "n_trials": self.n_trials,
+            "seed": self.seed,
+            "grid": json.loads(json.dumps(self.grid)),
+            "base_params": json.loads(json.dumps(self.base_params)),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        known = {"campaign", "n_trials", "seed", "grid", "base_params", "name"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SweepSpec fields: {sorted(unknown)}")
+        return cls(
+            campaign=str(data["campaign"]),
+            n_trials=int(data["n_trials"]),
+            seed=int(data.get("seed", 0)),
+            grid=json.loads(json.dumps(data.get("grid", {}))),
+            base_params=json.loads(json.dumps(data.get("base_params", {}))),
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON form."""
+        return _canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def is_sweep_dict(data: dict) -> bool:
+    """Whether a parsed JSON spec is a sweep (has a ``grid``) vs a campaign."""
+    return isinstance(data, dict) and "grid" in data
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepEntry:
+    """One completed grid point: its coordinates, spec and aggregated result."""
+
+    point: dict
+    spec: CampaignSpec
+    result: Any
+
+
+@dataclass
+class SweepResult:
+    """All grid points of a completed sweep, in expansion order."""
+
+    sweep: SweepSpec
+    entries: list[SweepEntry] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def results_by_point(self) -> dict[tuple, Any]:
+        """Map grid-point coordinates (axis-sorted value tuple) to results."""
+        axes = self.sweep.axes
+        return {
+            tuple(entry.point[a] for a in axes): entry.result for entry in self.entries
+        }
+
+
+def campaign_results_path(results_dir: str | Path, index: int, spec: CampaignSpec) -> Path:
+    """Checkpoint file of one expanded campaign inside the sweep directory."""
+    slug = "".join(c if c.isalnum() or c in "=,._-" else "_" for c in spec.label)
+    return Path(results_dir) / f"{index:03d}-{slug}.jsonl"
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    n_workers: int = 1,
+    results_dir: str | Path | None = None,
+) -> SweepResult:
+    """Expand and run (or resume) every campaign of a sweep.
+
+    With ``results_dir`` every expanded campaign checkpoints its trials to its
+    own JSONL file; campaigns whose file is already complete are not re-run
+    (their records are loaded and re-aggregated), so a killed sweep resumes
+    from the first unfinished campaign.
+    """
+    if results_dir is not None and Path(results_dir).is_file():
+        raise ValueError(
+            f"results_dir {results_dir} is a file; a sweep checkpoints into a "
+            "directory of per-campaign JSONL files"
+        )
+    result = SweepResult(sweep=sweep)
+    for index, (point, spec) in enumerate(sweep.expanded()):
+        path = (
+            campaign_results_path(results_dir, index, spec)
+            if results_dir is not None
+            else None
+        )
+        runner = CampaignRunner(spec, n_workers=n_workers, results_path=path)
+        result.entries.append(SweepEntry(point=point, spec=spec, result=runner.run()))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Command-line interface
+# --------------------------------------------------------------------------- #
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.analysis.reporting import format_sweep_result
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fault.sweep",
+        description="Expand and run a cross-campaign sweep grid from a JSON spec file.",
+    )
+    parser.add_argument("spec", help="path to a SweepSpec JSON file")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes per campaign")
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="directory for per-campaign JSONL checkpoints (enables resume)",
+    )
+    parser.add_argument(
+        "--expand-only",
+        action="store_true",
+        help="print the expanded campaign specs as JSON lines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.results_dir is not None and Path(args.results_dir).is_file():
+        parser.error(
+            f"--results-dir {args.results_dir} is a file, but a sweep "
+            "checkpoints into a directory of per-campaign JSONL files"
+        )
+    sweep = SweepSpec.from_json(Path(args.spec).read_text())
+    if args.expand_only:
+        for spec in sweep.expand():
+            print(spec.to_json())
+        return 0
+    result = run_sweep(sweep, n_workers=args.workers, results_dir=args.results_dir)
+    print(format_sweep_result(result))
+    return 0
+
+
+if __name__ == "__main__":
+    # Under ``python -m repro.fault.sweep`` this file executes as ``__main__``
+    # while the campaign registry lives on the canonical module; delegate so
+    # both sides share one registry (mirrors repro.fault.runner).
+    from repro.fault import sweep as _canonical
+
+    sys.exit(_canonical.main())

@@ -233,6 +233,7 @@ def verify_strided_checksums(
     stride: int = 8,
     atol: float = 1e-2,
     rtol: float = 0.0,
+    magnitude: np.ndarray | None = None,
 ) -> ChecksumVerdict:
     """Verify/correct ``S`` against its strided tensor checksums, in place.
 
@@ -243,6 +244,13 @@ def verify_strided_checksums(
     is corrected by the unweighted residual.  Errors in different stride
     classes of the same row are corrected independently, which is the source
     of the coverage advantage over single-column checksums.
+
+    ``magnitude`` optionally overrides the per-class reference magnitude the
+    relative threshold is taken against.  By default it is the strided sum of
+    ``|S|`` itself, which is correct when ``S`` was computed in one GEMM; a
+    running accumulator (the attention output) can cancel to near zero while
+    the values folded into it stay O(1), in which case the caller must supply
+    the accumulated magnitude to keep round-off below threshold.
     """
     s = np.asarray(s)
     rows, cols = s.shape
@@ -274,10 +282,16 @@ def verify_strided_checksums(
     res1 = np.asarray(s_check1, dtype=np.float64) - sum1
     res2 = np.asarray(s_check2, dtype=np.float64) - sum2
     verdict.max_residual = float(np.max(np.abs(res1))) if res1.size else 0.0
-    magnitude, _ = strided_sums(np.abs(s), stride)
+    if magnitude is None:
+        magnitude, _ = strided_sums(np.abs(s), stride)
+    else:
+        magnitude = np.maximum(np.asarray(magnitude, dtype=np.float64), strided_sums(np.abs(s), stride)[0])
     thresh = _threshold(magnitude, atol, rtol)
     bad = np.argwhere(np.abs(res1) > thresh)
-    verdict.detected = int(bad.shape[0])
+    # Add to (not overwrite) the detections already recorded by the
+    # non-finite repair above: a repaired NaN no longer exceeds the threshold
+    # here, but it was detected.
+    verdict.detected += int(bad.shape[0])
     for i, j in bad:
         if abs(res1[i, j]) < np.finfo(np.float64).tiny:
             verdict.uncorrectable += 1

@@ -15,12 +15,13 @@ from repro.transformer.configs import (
     GPT2_SMALL,
     T5_SMALL,
     TransformerConfig,
+    get_config,
     model_zoo,
 )
 from repro.transformer.layers import Embedding, LayerNorm, ProtectedLinear, gelu, relu
 from repro.transformer.ffn import FeedForward
 from repro.transformer.mha import MultiHeadAttention
-from repro.transformer.model import TransformerModel
+from repro.transformer.model import TransformerBlock, TransformerModel, TransformerOutput
 from repro.transformer.costing import TransformerCostModel
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "GPT2_SMALL",
     "T5_SMALL",
     "TransformerConfig",
+    "get_config",
     "model_zoo",
     "Embedding",
     "LayerNorm",
@@ -37,6 +39,8 @@ __all__ = [
     "relu",
     "FeedForward",
     "MultiHeadAttention",
+    "TransformerBlock",
     "TransformerModel",
+    "TransformerOutput",
     "TransformerCostModel",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,11 @@ class TransformerConfig:
     is_decoder:
         Whether the model generates autoregressively (per-token timing) or
         encodes the whole sequence at once.
+    scheme:
+        Name of the protection scheme the model runs under (a
+        :mod:`repro.core.schemes` registry name: ``"none"``, ``"efta"``,
+        ``"efta_unified"``, ``"decoupled"``).  ``TransformerModel(...,
+        scheme=...)`` overrides it per instance.
     """
 
     name: str
@@ -42,6 +47,7 @@ class TransformerConfig:
     vocab_size: int = 32000
     max_seq_len: int = 512
     is_decoder: bool = False
+    scheme: str = "efta_unified"
 
     def __post_init__(self) -> None:
         if self.hidden_dim % self.num_heads:
@@ -70,7 +76,12 @@ class TransformerConfig:
             vocab_size=997,
             max_seq_len=self.max_seq_len,
             is_decoder=self.is_decoder,
+            scheme=self.scheme,
         )
+
+    def with_scheme(self, scheme: str) -> "TransformerConfig":
+        """A copy of this configuration running under a different protection scheme."""
+        return replace(self, scheme=scheme)
 
 
 #: GPT-2 (small): 12 layers, 768 hidden, 12 heads, autoregressive decoder.
@@ -101,3 +112,12 @@ T5_SMALL = TransformerConfig(
 def model_zoo() -> list[TransformerConfig]:
     """The four models evaluated in Figure 15, in the paper's order."""
     return [GPT2_SMALL, BERT_BASE, BERT_LARGE, T5_SMALL]
+
+
+def get_config(name: str) -> TransformerConfig:
+    """Look up a Figure-15 model configuration by its published name."""
+    for config in model_zoo():
+        if config.name == name:
+            return config
+    known = [c.name for c in model_zoo()]
+    raise ValueError(f"unknown model configuration {name!r}; known: {known}")

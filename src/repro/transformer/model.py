@@ -1,17 +1,27 @@
-"""Full Transformer inference model built on the protected layers."""
+"""Full Transformer inference model built on the scheme-agnostic protected layers.
+
+The protection scheme is selected by registry name (``"none"``, ``"efta"``,
+``"efta_unified"``, ``"decoupled"``) either on the
+:class:`~repro.transformer.configs.TransformerConfig` or per model instance,
+so the same model runs end-to-end under every registered scheme -- the code
+path behind the paper's cross-scheme comparisons and the
+``transformer_inference`` fault campaigns.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import FaultToleranceReport
+from repro.core.schemes import get_scheme
 from repro.fault.injector import FaultInjector
 from repro.transformer.configs import TransformerConfig
 from repro.transformer.ffn import FeedForward
 from repro.transformer.layers import Embedding, LayerNorm, ProtectedLinear, gelu, relu
-from repro.transformer.mha import MultiHeadAttention
+from repro.transformer.mha import MultiHeadAttention, resolve_scheme_name
 
 
 @dataclass
@@ -31,8 +41,11 @@ class TransformerBlock:
         config: TransformerConfig,
         rng: np.random.Generator,
         attention_block_size: int,
-        unified_verification: bool,
+        scheme: str | bool | None = None,
     ):
+        scheme = resolve_scheme_name(
+            config.scheme if scheme is None else scheme, unified_verification=None
+        )
         self.ln_attn = LayerNorm(config.hidden_dim)
         self.ln_ffn = LayerNorm(config.hidden_dim)
         self.attention = MultiHeadAttention(
@@ -41,25 +54,31 @@ class TransformerBlock:
             seq_len=config.max_seq_len,
             rng=rng,
             attention_block_size=attention_block_size,
-            unified_verification=unified_verification,
+            scheme=scheme,
         )
         activation = relu if config.name.startswith("T5") else gelu
         self.ffn = FeedForward(config.hidden_dim, config.ffn_dim, rng, activation=activation)
+
+    @property
+    def scheme_name(self) -> str:
+        """The protection scheme this block runs under."""
+        return self.attention.scheme_name
 
     def __call__(
         self,
         x: np.ndarray,
         injector: FaultInjector | None,
         report: FaultToleranceReport | None,
-        protected: bool,
+        protected: bool | None = None,
     ) -> np.ndarray:
+        ffn_protected = self.attention.protects_linear if protected is None else protected
         x = x + self.attention(self.ln_attn(x), injector=injector, report=report, protected=protected)
-        x = x + self.ffn(self.ln_ffn(x), injector=injector, report=report, protected=protected)
+        x = x + self.ffn(self.ln_ffn(x), injector=injector, report=report, protected=ffn_protected)
         return x
 
 
 class TransformerModel:
-    """Randomly initialised Transformer with end-to-end fault tolerant inference.
+    """Randomly initialised Transformer with scheme-selected fault tolerant inference.
 
     Parameters
     ----------
@@ -71,10 +90,14 @@ class TransformerModel:
     attention_block_size:
         Block size of the fused attention kernel; keep it at or below the
         sequence lengths you intend to run.
-    unified_verification:
-        Whether attention uses the optimized EFTA.
+    scheme:
+        Name of a registered protection scheme; defaults to
+        ``config.scheme``.  ``"none"`` runs the whole stack unprotected.
     with_lm_head:
         Attach a vocabulary projection producing logits.
+    unified_verification:
+        Deprecated: ``True`` maps to ``scheme="efta_unified"``, ``False`` to
+        ``scheme="efta"``.
     """
 
     def __init__(
@@ -82,14 +105,20 @@ class TransformerModel:
         config: TransformerConfig,
         seed: int = 0,
         attention_block_size: int = 128,
-        unified_verification: bool = True,
+        scheme: str | bool | None = None,
         with_lm_head: bool = True,
+        unified_verification: bool | None = None,
     ):
         self.config = config
+        if scheme is None and unified_verification is None:
+            self.scheme_name = resolve_scheme_name(config.scheme, None)
+        else:
+            self.scheme_name = resolve_scheme_name(scheme, unified_verification)
+        self.scheme_cls = get_scheme(self.scheme_name)  # fail fast on typos
         rng = np.random.default_rng(seed)
         self.embedding = Embedding(config.vocab_size, config.hidden_dim, config.max_seq_len, rng)
         self.blocks = [
-            TransformerBlock(config, rng, attention_block_size, unified_verification)
+            TransformerBlock(config, rng, attention_block_size, self.scheme_name)
             for _ in range(config.num_layers)
         ]
         self.final_norm = LayerNorm(config.hidden_dim)
@@ -100,22 +129,45 @@ class TransformerModel:
         )
 
     # ------------------------------------------------------------------ #
+    @property
+    def protects_linear(self) -> bool:
+        """Whether the configured scheme verifies the model's linear GEMMs."""
+        return self.scheme_cls.protects_linear
+
     def forward(
         self,
         token_ids: np.ndarray,
         injector: FaultInjector | None = None,
-        protected: bool = True,
+        protected: bool | None = None,
     ) -> TransformerOutput:
-        """Run a full forward pass over ``token_ids`` of shape (batch, seq_len)."""
+        """Run a full forward pass over ``token_ids`` of shape (batch, seq_len).
+
+        ``protected`` is deprecated: pass ``scheme="none"`` at construction to
+        run unprotected instead of ``protected=False`` here.
+        """
+        if protected is not None:
+            warnings.warn(
+                "protected= is deprecated; construct the model with "
+                "scheme='none' to run unprotected",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         report = FaultToleranceReport()
         already_applied = injector.applied_count if injector is not None else 0
         x = self.embedding(np.asarray(token_ids))
-        for block in self.blocks:
-            x = block(x, injector, report, protected)
+        with warnings.catch_warnings():
+            if protected is not None:
+                # Warned once above, attributed to the caller; the per-layer
+                # re-warnings from MultiHeadAttention would point at repro's
+                # own frames.
+                warnings.simplefilter("ignore", DeprecationWarning)
+            for block in self.blocks:
+                x = block(x, injector, report, protected)
         x = self.final_norm(x)
         logits = None
         if self.lm_head is not None:
-            logits = self.lm_head(x, injector=injector, protected=protected)
+            head_protected = self.protects_linear if protected is None else protected
+            logits = self.lm_head(x, injector=injector, protected=head_protected)
         if injector is not None:
             # Attention sub-kernels already copied their own records into the
             # merged report; add only the ones no sub-report captured.
@@ -132,7 +184,7 @@ class TransformerModel:
         self,
         token_ids: np.ndarray,
         injector: FaultInjector | None = None,
-        protected: bool = True,
+        protected: bool | None = None,
     ) -> tuple[np.ndarray, TransformerOutput]:
         """One greedy decoding step: returns the argmax next token per batch row."""
         if self.lm_head is None:

@@ -96,3 +96,75 @@ class TestRestrictionDistribution:
         sel = restriction_error_distribution("selective", n_trials=30, seed=7)
         edges, fractions = sel.error_distribution(bins=10, upper=0.2)
         assert np.isclose(fractions.sum(), 1.0)
+
+
+class TestTransformerInferenceCampaign:
+    """The registered transformer-level kernel (model x scheme x BER x site)."""
+
+    @staticmethod
+    def _spec(**params):
+        from repro.fault.runner import CampaignSpec
+
+        defaults = {
+            "scheme": "efta_unified",
+            "site": "gemm_qk",
+            "bits": [13, 14],
+            "hidden_dim": 32,
+            "num_layers": 2,
+            "seq_len": 16,
+        }
+        defaults.update(params)
+        return CampaignSpec(
+            campaign="transformer_inference", n_trials=6, seed=3, params=defaults
+        )
+
+    def test_registered(self):
+        from repro.fault.runner import available_campaigns
+
+        assert "transformer_inference" in available_campaigns()
+
+    def test_protected_scheme_detects_and_corrects(self):
+        from repro.fault.runner import run_campaign
+
+        result = run_campaign(self._spec())
+        assert result.n_trials == 6
+        assert result.detection_rate == 1.0
+        assert result.coverage > 0.8
+        assert result.mean_output_error < 0.01
+
+    def test_unprotected_scheme_shows_silent_corruption(self):
+        from repro.fault.runner import run_campaign
+
+        protected = run_campaign(self._spec())
+        unprotected = run_campaign(self._spec(scheme="none"))
+        assert unprotected.detection_rate == 0.0
+        assert unprotected.mean_output_error > protected.mean_output_error
+
+    def test_deterministic_across_worker_counts(self):
+        from repro.fault.runner import CampaignRunner
+
+        spec = self._spec(scheme="decoupled")
+        serial = CampaignRunner(spec, n_workers=1).run()
+        sharded = CampaignRunner(spec, n_workers=3).run()
+        assert serial.outcomes == sharded.outcomes
+
+    def test_ber_mode_draws_poisson_fault_counts(self):
+        from repro.fault.runner import run_campaign
+
+        result = run_campaign(
+            self._spec(bit_error_rate=2e-8, site=["gemm_qk", "linear"])
+        )
+        counts = [o.injected for o in result.outcomes]
+        assert any(c == 0 for c in counts) or any(c > 1 for c in counts)
+
+    def test_site_never_executed_is_rejected(self):
+        from repro.fault.runner import run_campaign
+
+        with pytest.raises(ValueError, match="never execute"):
+            run_campaign(self._spec(scheme="decoupled", site="subtract_exp"))
+
+    def test_model_zoo_names_accepted(self):
+        from repro.fault.runner import run_campaign
+
+        result = run_campaign(self._spec(model="T5-Small"))
+        assert result.n_trials == 6

@@ -177,6 +177,25 @@ class TestStridedChecksums:
         assert verdict.corrections[0].col == 19
         np.testing.assert_allclose(s, expected, atol=0.5)
 
+    def test_nonfinite_error_repaired_and_reported_detected(self, rng):
+        # Regression: the threshold pass used to overwrite the detections the
+        # non-finite repair recorded, reporting a corrected NaN as undetected.
+        q = rng.standard_normal((16, 64)).astype(np.float32)
+        k = rng.standard_normal((32, 64)).astype(np.float32)
+        s = fp16_matmul(q, k.T)
+        expected = s.copy()
+        kc1, kc2 = encode_strided_row_checksums(k.T, stride=8)
+        s[5, 19] = np.nan
+        verdict = verify_strided_checksums(
+            s, fp16_matmul(q, kc1), fp16_matmul(q, kc2), stride=8, atol=1e-3, rtol=0.02
+        )
+        assert verdict.detected >= 1
+        assert verdict.corrected == 1
+        assert verdict.corrections[0].row == 5
+        assert verdict.corrections[0].col == 19
+        assert np.all(np.isfinite(s))
+        np.testing.assert_allclose(s, expected, atol=0.5)
+
     def test_multiple_errors_in_distinct_stride_classes_corrected(self, rng):
         # The 8-wide checksum corrects several errors per row as long as no
         # two share a stride class (Section 3.3).

@@ -69,7 +69,9 @@ class TestMultiHeadAttention:
     def test_protected_and_unprotected_agree(self, rng):
         mha = MultiHeadAttention(hidden_dim=16, num_heads=2, seq_len=16, rng=rng, attention_block_size=8)
         x = rng.standard_normal((1, 16, 16)).astype(np.float32)
-        np.testing.assert_allclose(mha(x), mha(x, protected=False), rtol=2e-2, atol=2e-2)
+        with pytest.warns(DeprecationWarning):
+            unprotected = mha(x, protected=False)
+        np.testing.assert_allclose(mha(x), unprotected, rtol=2e-2, atol=2e-2)
 
     def test_report_aggregates_attention_events(self, rng):
         mha = MultiHeadAttention(hidden_dim=16, num_heads=2, seq_len=16, rng=rng, attention_block_size=8)

@@ -3,9 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.core.schemes import available_schemes
 from repro.fault.injector import FaultInjector
 from repro.fault.models import FaultSite, FaultSpec
-from repro.transformer.configs import BERT_BASE, BERT_LARGE, GPT2_SMALL, T5_SMALL, TransformerConfig, model_zoo
+from repro.transformer.configs import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_SMALL,
+    T5_SMALL,
+    TransformerConfig,
+    get_config,
+    model_zoo,
+)
 from repro.transformer.costing import TransformerCostModel
 from repro.transformer.model import TransformerModel
 
@@ -49,6 +58,18 @@ class TestConfigs:
         assert tiny.hidden_dim % tiny.num_heads == 0
         assert tiny.num_layers == 3
 
+    def test_get_config_by_name(self):
+        assert get_config("BERT-Large") is BERT_LARGE
+        with pytest.raises(ValueError):
+            get_config("GPT5")
+
+    def test_with_scheme_and_scaled_carry_scheme(self):
+        decoupled = GPT2_SMALL.with_scheme("decoupled")
+        assert decoupled.scheme == "decoupled"
+        assert decoupled.hidden_dim == GPT2_SMALL.hidden_dim
+        assert decoupled.scaled(hidden_dim=32).scheme == "decoupled"
+        assert GPT2_SMALL.scheme == "efta_unified"
+
 
 class TestTransformerModel:
     def test_forward_shapes(self, tiny_model, tiny_ids):
@@ -61,7 +82,8 @@ class TestTransformerModel:
     def test_protected_close_to_unprotected(self, tiny_model, tiny_ids):
         _, model = tiny_model
         protected = model(tiny_ids)
-        unprotected = model(tiny_ids, protected=False)
+        with pytest.warns(DeprecationWarning):
+            unprotected = model(tiny_ids, protected=False)
         np.testing.assert_allclose(
             protected.logits, unprotected.logits, rtol=5e-2, atol=5e-2
         )
@@ -115,6 +137,77 @@ class TestTransformerModel:
         small = TransformerModel(GPT2_SMALL.scaled(32, 1), attention_block_size=16)
         large = TransformerModel(GPT2_SMALL.scaled(64, 2), attention_block_size=16)
         assert 0 < small.num_parameters() < large.num_parameters()
+
+
+class TestSchemeSelection:
+    """The model runs end-to-end under every registered scheme, selected by name."""
+
+    #: Mean logit of the seed-5 tiny GPT2 at a (1, 12) seed-11 prompt, per
+    #: scheme -- fault-free goldens pinning the scheme-agnostic stack.
+    LOGIT_GOLDENS = {
+        "decoupled": -0.02138432115316391,
+        "efta": -0.02138274908065796,
+        "efta_unified": -0.02138274908065796,
+        "none": -0.02138793282210827,
+    }
+
+    @pytest.fixture(scope="class")
+    def prompt(self):
+        cfg = GPT2_SMALL.scaled(hidden_dim=32, num_layers=2)
+        ids = np.random.default_rng(11).integers(0, cfg.vocab_size, size=(1, 12))
+        return cfg, ids
+
+    def test_every_scheme_runs_and_matches_golden(self, prompt):
+        cfg, ids = prompt
+        assert set(self.LOGIT_GOLDENS) == set(available_schemes())
+        for scheme in available_schemes():
+            model = TransformerModel(cfg, seed=5, attention_block_size=8, scheme=scheme)
+            output = model(ids)
+            assert output.report.clean, scheme
+            assert float(output.logits.mean()) == pytest.approx(
+                self.LOGIT_GOLDENS[scheme], rel=1e-6, abs=1e-7
+            ), scheme
+
+    def test_config_scheme_is_the_default(self, prompt):
+        cfg, ids = prompt
+        by_config = TransformerModel(
+            cfg.with_scheme("efta"), seed=5, attention_block_size=8
+        )
+        by_kwarg = TransformerModel(cfg, seed=5, attention_block_size=8, scheme="efta")
+        np.testing.assert_array_equal(by_config(ids).logits, by_kwarg(ids).logits)
+        assert by_config.scheme_name == "efta"
+
+    def test_unknown_scheme_rejected_at_construction(self, prompt):
+        cfg, _ = prompt
+        with pytest.raises(ValueError, match="unknown protection scheme"):
+            TransformerModel(cfg, scheme="bogus", attention_block_size=8)
+
+    def test_deprecated_unified_verification_maps_to_scheme(self, prompt):
+        cfg, ids = prompt
+        with pytest.warns(DeprecationWarning):
+            legacy = TransformerModel(
+                cfg, seed=5, attention_block_size=8, unified_verification=False
+            )
+        assert legacy.scheme_name == "efta"
+        modern = TransformerModel(cfg, seed=5, attention_block_size=8, scheme="efta")
+        np.testing.assert_array_equal(legacy(ids).logits, modern(ids).logits)
+
+    def test_deprecated_protected_false_matches_scheme_none(self, prompt):
+        cfg, ids = prompt
+        model = TransformerModel(cfg, seed=5, attention_block_size=8)
+        with pytest.warns(DeprecationWarning):
+            legacy = model(ids, protected=False)
+        unprotected = TransformerModel(cfg, seed=5, attention_block_size=8, scheme="none")
+        np.testing.assert_array_equal(legacy.logits, unprotected(ids).logits)
+
+    def test_scheme_none_skips_all_verification(self, prompt):
+        cfg, ids = prompt
+        model = TransformerModel(cfg, seed=5, attention_block_size=8, scheme="none")
+        assert model.protects_linear is False
+        injector = FaultInjector.single_bit_flip(FaultSite.LINEAR, seed=6, bit=14, dtype="fp16")
+        output = model(ids, injector=injector)
+        assert len(output.report.injected) == 1
+        assert not output.report.detected_any
 
 
 class TestTransformerCostModel:
