@@ -5,6 +5,11 @@ head=32/dim=128) and sequence lengths 512-16K at a fixed 16K total token
 count: the scaled execution time of the unprotected baseline, the decoupled
 operation-level FT attention, the end-to-end FT attention, the speedup of the
 latter, and the OOM point of the decoupled framework.
+
+The whole figure is one :class:`~repro.exec.spec.ExperimentSpec` per
+configuration -- a scheme x seq_len grid over the deterministic
+``attention_cost`` kernel -- so the same spec regenerates the figure from
+``python -m repro run`` on any executor backend.
 """
 
 from __future__ import annotations
@@ -13,10 +18,9 @@ import pytest
 
 from repro.analysis.overhead import geometric_mean, speedup
 from repro.analysis.reporting import format_table
-from repro.core.config import AttentionConfig
-from repro.core.schemes import build_scheme
+from repro.exec import ExperimentSpec, run_experiment
 
-from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
+from common import LARGE_ATTENTION, MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
 
 #: Speedups of FT-protected EFTA over the decoupled framework read off Figure 9.
 PAPER_SPEEDUP_PERCENT = {
@@ -25,29 +29,40 @@ PAPER_SPEEDUP_PERCENT = {
 }
 
 
+def cost_experiment(heads: int, head_dim: int) -> ExperimentSpec:
+    """The Figure 9 grid for one attention configuration."""
+    return ExperimentSpec(
+        campaign="attention_cost",
+        n_trials=1,
+        params={"heads": heads, "head_dim": head_dim},
+        grid={"scheme": ["efta", "decoupled"], "seq_len": PAPER_SEQ_LENGTHS},
+        name=f"fig09-h{heads}d{head_dim}",
+    )
+
+
 def _sweep(heads: int, head_dim: int):
-    """Walk the Figure 9 sweep through the protection-scheme registry."""
+    """Walk the Figure 9 sweep through the unified experiment engine."""
+    by_point = run_experiment(cost_experiment(heads, head_dim)).results_by_point()
     rows = []
     speedups = []
     for seq_len in PAPER_SEQ_LENGTHS:
-        batch = paper_batch(seq_len)
-        config = AttentionConfig(seq_len=seq_len, head_dim=head_dim)
-        efta = build_scheme("efta", config).cost_breakdown(batch, heads)
-        baseline = efta.base_time
-        decoupled_scheme = build_scheme("decoupled", config)
-        decoupled = decoupled_scheme.cost_breakdown(batch, heads)
-        fits = decoupled_scheme.fits_in_memory(batch, heads)
+        efta = by_point[("efta", seq_len)]
+        decoupled = by_point[("decoupled", seq_len)]
+        baseline = efta["base_time"]
+        fits = decoupled["fits_in_memory"]
         paper = PAPER_SPEEDUP_PERCENT[(heads, head_dim)][seq_len]
-        measured = speedup(decoupled.total_time, efta.total_time) * 100 if fits else None
+        measured = (
+            speedup(decoupled["total_time"], efta["total_time"]) * 100 if fits else None
+        )
         if measured is not None:
             speedups.append(measured)
         rows.append(
             [
                 seq_len,
                 1.0,
-                round(decoupled.base_time / baseline, 2) if fits else "OOM",
-                round(decoupled.total_time / baseline, 2) if fits else "OOM",
-                round(efta.total_time / baseline, 2),
+                round(decoupled["base_time"] / baseline, 2) if fits else "OOM",
+                round(decoupled["total_time"] / baseline, 2) if fits else "OOM",
+                round(efta["total_time"] / baseline, 2),
                 f"{measured:.0f}%" if measured is not None else "OOM",
                 f"{paper}%" if paper is not None else "OOM",
             ]
@@ -89,6 +104,9 @@ def test_figure9_average_speedup_bands():
 @pytest.mark.benchmark(group="fig09")
 def test_benchmark_efta_functional_kernel(benchmark, small_attention_problem):
     """Time the functional (NumPy) protected EFTA kernel itself."""
+    from repro.core.config import AttentionConfig
+    from repro.core.schemes import build_scheme
+
     q, k, v = small_attention_problem
     efta = build_scheme(
         "efta_unified", AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64)

@@ -5,11 +5,12 @@ the traditional single-column checksum, as a function of the computational bit
 error rate.  Right plot: fault-detection rate and false-alarm rate of the
 strided checksum as a function of the relative error threshold.
 
-Both experiments are driven through the declarative campaign runner
-(:mod:`repro.fault.runner`), so the exact same specs can be run sharded and
-checkpointed from the command line::
+Both experiments run as one unified :class:`~repro.exec.spec.ExperimentSpec`
+each (the left plot is a BER x scheme sweep grid, the right a single
+campaign), so the exact same specs can be run on any executor backend from
+the command line::
 
-    python -m repro.fault.runner fig12_spec.json --workers 8 --results fig12.jsonl
+    python -m repro run fig12_spec.json --executor process --workers 8 --results out/
 """
 
 from __future__ import annotations
@@ -17,8 +18,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.reporting import format_table, format_threshold_sweep
+from repro.exec import ExperimentSpec, run_experiment
 from repro.fault.campaign import abft_error_coverage
-from repro.fault.runner import CampaignSpec, run_campaign
 
 from common import emit
 
@@ -32,23 +33,20 @@ BIT_ERROR_RATES = [1e-8, 5e-8, 1e-7]
 THRESHOLDS = [0.01, 0.1, 0.2, 0.3, 0.4, 0.48, 0.6, 0.8, 1.0]
 N_TRIALS = 40
 
-
-def coverage_spec(bit_error_rate: float, scheme: str) -> CampaignSpec:
-    return CampaignSpec(
-        campaign="abft_error_coverage",
-        n_trials=N_TRIALS,
-        seed=7,
-        params={"bit_error_rate": bit_error_rate, "scheme": scheme},
-        name=f"fig12-coverage-{scheme}-{bit_error_rate:.0e}",
-    )
+#: The whole left plot as one sweep spec: scheme x BER, common random numbers.
+COVERAGE_EXPERIMENT = ExperimentSpec(
+    campaign="abft_error_coverage",
+    n_trials=N_TRIALS,
+    seed=7,
+    grid={"bit_error_rate": BIT_ERROR_RATES, "scheme": ["tensor", "element"]},
+    name="fig12-coverage",
+)
 
 
 @pytest.fixture(scope="module")
 def coverage_results():
-    return {
-        scheme: {ber: run_campaign(coverage_spec(ber, scheme)) for ber in BIT_ERROR_RATES}
-        for scheme in ("tensor", "element")
-    }
+    # Axis-sorted keys: (bit_error_rate, scheme) -> CampaignResult.
+    return run_experiment(COVERAGE_EXPERIMENT).results_by_point()
 
 
 def test_figure12_left_error_coverage(coverage_results):
@@ -57,9 +55,9 @@ def test_figure12_left_error_coverage(coverage_results):
         rows.append(
             [
                 f"{ber:.0e}",
-                round(coverage_results["tensor"][ber].coverage, 2),
+                round(coverage_results[(ber, "tensor")].coverage, 2),
                 PAPER_COVERAGE["tensor"][ber],
-                round(coverage_results["element"][ber].coverage, 2),
+                round(coverage_results[(ber, "element")].coverage, 2),
                 PAPER_COVERAGE["element"][ber],
             ]
         )
@@ -71,22 +69,22 @@ def test_figure12_left_error_coverage(coverage_results):
     emit("Figure 12 (left)", table)
 
     for ber in BIT_ERROR_RATES:
-        tensor = coverage_results["tensor"][ber].coverage
-        element = coverage_results["element"][ber].coverage
+        tensor = coverage_results[(ber, "tensor")].coverage
+        element = coverage_results[(ber, "element")].coverage
         assert tensor > element + 0.2, "tensor checksum must dominate"
         assert tensor > 0.55
         assert element < 0.6
 
 
 def test_figure12_right_detection_vs_threshold():
-    spec = CampaignSpec(
+    spec = ExperimentSpec(
         campaign="abft_detection_sweep",
         n_trials=60,
         seed=8,
         params={"thresholds": THRESHOLDS},
         name="fig12-threshold-sweep",
     )
-    points = run_campaign(spec)
+    points = run_experiment(spec).result
     emit("Figure 12 (right)", format_threshold_sweep(points))
     detection = {p.threshold: p.detection_rate for p in points}
     false_alarm = {p.threshold: p.false_alarm_rate for p in points}

@@ -1,8 +1,9 @@
 """Figure 14: SNVR detection/false-alarm trade-off and post-restriction error distribution.
 
-Both experiments run as declarative campaign specs on
-:mod:`repro.fault.runner`; the same specs are shardable and resumable from
-the ``python -m repro.fault.runner`` command line.
+Both experiments run as unified :class:`~repro.exec.spec.ExperimentSpec`
+objects on the executor engine (the restriction comparison as one
+method-grid sweep), so the same specs are shardable and resumable from the
+``python -m repro run`` command line on any backend.
 """
 
 from __future__ import annotations
@@ -11,8 +12,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table, format_threshold_sweep
+from repro.exec import ExperimentSpec, run_experiment
 from repro.fault.campaign import restriction_error_distribution
-from repro.fault.runner import CampaignSpec, run_campaign
 
 from common import emit
 
@@ -20,14 +21,14 @@ THRESHOLDS = [1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 3e-1]
 
 
 def test_figure14_left_detection_vs_threshold():
-    spec = CampaignSpec(
+    spec = ExperimentSpec(
         campaign="snvr_detection_sweep",
         n_trials=60,
         seed=21,
         params={"thresholds": THRESHOLDS},
         name="fig14-threshold-sweep",
     )
-    points = run_campaign(spec)
+    points = run_experiment(spec).result
     emit(
         "Figure 14 (left)",
         "\n".join(
@@ -49,19 +50,20 @@ def test_figure14_left_detection_vs_threshold():
     assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
 
 
-def restriction_spec(method: str) -> CampaignSpec:
-    return CampaignSpec(
-        campaign="restriction_error_distribution",
-        n_trials=120,
-        seed=22,
-        params={"method": method},
-        name=f"fig14-restriction-{method}",
-    )
+#: Both restriction methods as one sweep grid with common random numbers.
+RESTRICTION_EXPERIMENT = ExperimentSpec(
+    campaign="restriction_error_distribution",
+    n_trials=120,
+    seed=22,
+    grid={"method": ["selective", "traditional"]},
+    name="fig14-restriction",
+)
 
 
 def test_figure14_right_error_distribution():
-    selective = run_campaign(restriction_spec("selective"))
-    traditional = run_campaign(restriction_spec("traditional"))
+    by_method = run_experiment(RESTRICTION_EXPERIMENT).results_by_point()
+    selective = by_method[("selective",)]
+    traditional = by_method[("traditional",)]
     edges, sel_hist = selective.error_distribution(bins=10, upper=0.2)
     _, trad_hist = traditional.error_distribution(bins=10, upper=0.2)
     centers = [f"{0.5 * (edges[i] + edges[i + 1]):.2f}" for i in range(len(sel_hist))]

@@ -1,4 +1,9 @@
-"""Figure 15: detection / correction overhead of optimized EFTA on Transformer models."""
+"""Figure 15: detection / correction overhead of optimized EFTA on Transformer models.
+
+The overhead table is one :class:`~repro.exec.spec.ExperimentSpec` -- a grid
+over the model zoo on the deterministic ``transformer_cost`` kernel -- so the
+same spec regenerates the figure from ``python -m repro run`` on any backend.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,10 @@ import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table
+from repro.exec import ExperimentSpec, run_experiment
 from repro.fault.injector import FaultInjector
 from repro.fault.models import FaultSite
 from repro.transformer.configs import GPT2_SMALL, model_zoo
-from repro.transformer.costing import TransformerCostModel
 from repro.transformer.model import TransformerModel
 
 from common import emit
@@ -26,8 +31,19 @@ PAPER_OVERHEADS = {
 PAPER_GPT2_MS = 5.6
 
 
+#: The whole figure as one unified experiment spec over the model zoo.
+FIG15_EXPERIMENT = ExperimentSpec(
+    campaign="transformer_cost",
+    n_trials=1,
+    params={"seq_len": 512},
+    grid={"model": [config.name for config in model_zoo()]},
+    name="fig15",
+)
+
+
 def _reports():
-    return {config.name: TransformerCostModel(config, seq_len=512).report() for config in model_zoo()}
+    by_point = run_experiment(FIG15_EXPERIMENT).results_by_point()
+    return {name: by_point[(name,)] for (name,) in by_point}
 
 
 def test_figure15_overheads():
@@ -38,10 +54,10 @@ def test_figure15_overheads():
         rows.append(
             [
                 name,
-                round(report.base_time * 1e3, 2),
-                round(100 * report.detection_overhead, 1),
+                round(report["base_time"] * 1e3, 2),
+                round(100 * report["detection_overhead"], 1),
                 paper_det,
-                round(100 * report.correction_overhead, 1),
+                round(100 * report["correction_overhead"], 1),
                 paper_corr,
             ]
         )
@@ -55,22 +71,22 @@ def test_figure15_overheads():
     for name, report in reports.items():
         # Reproduction targets: detection a few percent, correction roughly
         # double that, both well below the attention-kernel-level overhead.
-        assert 0.01 < report.detection_overhead < 0.12
-        assert report.detection_overhead < report.correction_overhead < 0.25
+        assert 0.01 < report["detection_overhead"] < 0.12
+        assert report["detection_overhead"] < report["correction_overhead"] < 0.25
 
     # Relative ordering of models: the largest model amortises best.
-    assert reports["BERT-Large"].detection_overhead <= reports["T5-Small"].detection_overhead
+    assert reports["BERT-Large"]["detection_overhead"] <= reports["T5-Small"]["detection_overhead"]
 
 
 def test_figure15_gpt2_absolute_time_band():
     report = _reports()["GPT2"]
-    assert PAPER_GPT2_MS / 3 < report.base_time * 1e3 < PAPER_GPT2_MS * 3
+    assert PAPER_GPT2_MS / 3 < report["base_time"] * 1e3 < PAPER_GPT2_MS * 3
 
 
 def test_figure15_average_bands():
     reports = _reports()
-    detection = np.mean([r.detection_overhead for r in reports.values()])
-    correction = np.mean([r.correction_overhead for r in reports.values()])
+    detection = np.mean([r["detection_overhead"] for r in reports.values()])
+    correction = np.mean([r["correction_overhead"] for r in reports.values()])
     # Paper averages: 4.7% detection, 9.1% correction.
     assert 0.02 < detection < 0.08
     assert 0.04 < correction < 0.15

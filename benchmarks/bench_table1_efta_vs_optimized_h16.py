@@ -1,4 +1,9 @@
-"""Table 1: EFTA vs optimized EFTA (unified verification) for head=16, dim=64."""
+"""Table 1: EFTA vs optimized EFTA (unified verification) for head=16, dim=64.
+
+The table is one :class:`~repro.exec.spec.ExperimentSpec` -- an EFTA-variant
+x seq_len grid over the deterministic ``attention_cost`` kernel -- so the
+same spec regenerates it from ``python -m repro run`` on any backend.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,9 @@ import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.core.config import AttentionConfig
-from repro.core.schemes import build_scheme
+from repro.exec import ExperimentSpec, run_experiment
 
-from common import MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
+from common import MEDIUM_ATTENTION, PAPER_SEQ_LENGTHS, emit
 
 #: Table 1 of the paper: (EFTA ms, EFTA overhead %, EFTA-opt ms, EFTA-opt overhead %).
 PAPER_TABLE1 = {
@@ -25,27 +29,36 @@ HEADS = MEDIUM_ATTENTION["heads"]
 HEAD_DIM = MEDIUM_ATTENTION["head_dim"]
 
 
+#: The whole table as one unified experiment spec.
+TABLE1_EXPERIMENT = ExperimentSpec(
+    campaign="attention_cost",
+    n_trials=1,
+    params={"heads": HEADS, "head_dim": HEAD_DIM},
+    grid={"scheme": ["efta", "efta_unified"], "seq_len": PAPER_SEQ_LENGTHS},
+    name="table1",
+)
+
+
 def _rows():
-    """Compare the two EFTA variants through the protection-scheme registry."""
+    """Compare the two EFTA variants through the unified experiment engine."""
+    by_point = run_experiment(TABLE1_EXPERIMENT).results_by_point()
     rows = []
     measured = {}
     for seq_len in PAPER_SEQ_LENGTHS:
-        batch = paper_batch(seq_len)
-        config = AttentionConfig(seq_len=seq_len, head_dim=HEAD_DIM)
-        unopt = build_scheme("efta", config).cost_breakdown(batch, HEADS)
-        opt = build_scheme("efta_unified", config).cost_breakdown(batch, HEADS)
+        unopt = by_point[("efta", seq_len)]
+        opt = by_point[("efta_unified", seq_len)]
         paper = PAPER_TABLE1[seq_len]
         measured[seq_len] = (unopt, opt)
         rows.append(
             [
                 seq_len,
-                round(unopt.total_time * 1e3, 3),
+                round(unopt["total_time"] * 1e3, 3),
                 paper[0],
-                round(100 * unopt.overhead, 1),
+                round(100 * unopt["overhead"], 1),
                 paper[1],
-                round(opt.total_time * 1e3, 3),
+                round(opt["total_time"] * 1e3, 3),
                 paper[2],
-                round(100 * opt.overhead, 1),
+                round(100 * opt["overhead"], 1),
                 paper[3],
             ]
         )
@@ -67,12 +80,12 @@ def test_table1_rows():
     for seq_len, (unopt, opt) in measured.items():
         # Unified verification always wins, and both totals stay within ~3x of
         # the paper's absolute milliseconds (simulated vs measured hardware).
-        assert opt.total_time < unopt.total_time
+        assert opt["total_time"] < unopt["total_time"]
         paper_ms = PAPER_TABLE1[seq_len][2] * 1e-3
-        assert paper_ms / 3 < opt.total_time < paper_ms * 3
+        assert paper_ms / 3 < opt["total_time"] < paper_ms * 3
 
-    unopt_overheads = [m[0].overhead for m in measured.values()]
-    opt_overheads = [m[1].overhead for m in measured.values()]
+    unopt_overheads = [m[0]["overhead"] for m in measured.values()]
+    opt_overheads = [m[1]["overhead"] for m in measured.values()]
     # Paper averages: ~53% unoptimised vs ~15.3% optimised.
     assert 0.30 < float(np.mean(unopt_overheads)) < 0.80
     assert 0.08 < float(np.mean(opt_overheads)) < 0.25
@@ -80,7 +93,7 @@ def test_table1_rows():
 
 def test_table1_speedup_of_unified_verification():
     _, measured = _rows()
-    speedups = [u.total_time / o.total_time for u, o in measured.values()]
+    speedups = [u["total_time"] / o["total_time"] for u, o in measured.values()]
     # Paper reports an average 1.32x speedup from unified verification.
     assert 1.1 < float(np.mean(speedups)) < 1.8
 
@@ -88,6 +101,9 @@ def test_table1_speedup_of_unified_verification():
 @pytest.mark.benchmark(group="table1")
 def test_benchmark_unoptimized_efta_kernel(benchmark, small_attention_problem):
     """Time the per-iteration-verification EFTA variant on the functional kernel."""
+    from repro.core.config import AttentionConfig
+    from repro.core.schemes import build_scheme
+
     q, k, v = small_attention_problem
     efta = build_scheme(
         "efta", AttentionConfig(seq_len=q.shape[0], head_dim=q.shape[1], block_size=64)

@@ -1,4 +1,9 @@
-"""Table 2: EFTA vs optimized EFTA (unified verification) for head=32, dim=128."""
+"""Table 2: EFTA vs optimized EFTA (unified verification) for head=32, dim=128.
+
+The table is one :class:`~repro.exec.spec.ExperimentSpec` -- an EFTA-variant
+x seq_len grid over the deterministic ``attention_cost`` kernel -- so the
+same spec regenerates it from ``python -m repro run`` on any backend.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,9 @@ import numpy as np
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.core.config import AttentionConfig
-from repro.core.schemes import build_scheme
+from repro.exec import ExperimentSpec, run_experiment
 
-from common import LARGE_ATTENTION, PAPER_SEQ_LENGTHS, emit, paper_batch
+from common import LARGE_ATTENTION, PAPER_SEQ_LENGTHS, emit
 
 #: Table 2 of the paper: (EFTA ms, EFTA overhead %, EFTA-opt ms, EFTA-opt overhead %).
 PAPER_TABLE2 = {
@@ -25,27 +29,36 @@ HEADS = LARGE_ATTENTION["heads"]
 HEAD_DIM = LARGE_ATTENTION["head_dim"]
 
 
+#: The whole table as one unified experiment spec.
+TABLE2_EXPERIMENT = ExperimentSpec(
+    campaign="attention_cost",
+    n_trials=1,
+    params={"heads": HEADS, "head_dim": HEAD_DIM},
+    grid={"scheme": ["efta", "efta_unified"], "seq_len": PAPER_SEQ_LENGTHS},
+    name="table2",
+)
+
+
 def _rows():
-    """Compare the two EFTA variants through the protection-scheme registry."""
+    """Compare the two EFTA variants through the unified experiment engine."""
+    by_point = run_experiment(TABLE2_EXPERIMENT).results_by_point()
     rows = []
     measured = {}
     for seq_len in PAPER_SEQ_LENGTHS:
-        batch = paper_batch(seq_len)
-        config = AttentionConfig(seq_len=seq_len, head_dim=HEAD_DIM)
-        unopt = build_scheme("efta", config).cost_breakdown(batch, HEADS)
-        opt = build_scheme("efta_unified", config).cost_breakdown(batch, HEADS)
+        unopt = by_point[("efta", seq_len)]
+        opt = by_point[("efta_unified", seq_len)]
         paper = PAPER_TABLE2[seq_len]
         measured[seq_len] = (unopt, opt)
         rows.append(
             [
                 seq_len,
-                round(unopt.total_time * 1e3, 3),
+                round(unopt["total_time"] * 1e3, 3),
                 paper[0],
-                round(100 * unopt.overhead, 1),
+                round(100 * unopt["overhead"], 1),
                 paper[1],
-                round(opt.total_time * 1e3, 3),
+                round(opt["total_time"] * 1e3, 3),
                 paper[2],
-                round(100 * opt.overhead, 1),
+                round(100 * opt["overhead"], 1),
                 paper[3],
             ]
         )
@@ -65,29 +78,36 @@ def test_table2_rows():
     emit("Table 2", table)
 
     for seq_len, (unopt, opt) in measured.items():
-        assert opt.total_time < unopt.total_time
+        assert opt["total_time"] < unopt["total_time"]
         paper_ms = PAPER_TABLE2[seq_len][2] * 1e-3
-        assert paper_ms / 3 < opt.total_time < paper_ms * 3
+        assert paper_ms / 3 < opt["total_time"] < paper_ms * 3
 
-    opt_overheads = [m[1].overhead for m in measured.values()]
+    opt_overheads = [m[1]["overhead"] for m in measured.values()]
     # Paper average: 12.5% for the optimised variant at the large configuration.
     assert 0.05 < float(np.mean(opt_overheads)) < 0.22
 
 
 def test_table2_large_config_has_lower_overhead_than_table1():
     _, large = _rows()
-    medium_overheads = []
-    for seq_len in PAPER_SEQ_LENGTHS:
-        batch = paper_batch(seq_len)
-        scheme = build_scheme("efta_unified", AttentionConfig(seq_len=seq_len, head_dim=64))
-        medium_overheads.append(scheme.cost_breakdown(batch, 16).overhead)
-    large_overheads = [m[1].overhead for m in large.values()]
+    medium_experiment = ExperimentSpec(
+        campaign="attention_cost",
+        n_trials=1,
+        params={"heads": 16, "head_dim": 64, "scheme": "efta_unified"},
+        grid={"seq_len": PAPER_SEQ_LENGTHS},
+        name="table2-medium-reference",
+    )
+    medium = run_experiment(medium_experiment).results_by_point()
+    medium_overheads = [medium[(seq_len,)]["overhead"] for seq_len in PAPER_SEQ_LENGTHS]
+    large_overheads = [m[1]["overhead"] for m in large.values()]
     assert float(np.mean(large_overheads)) < float(np.mean(medium_overheads))
 
 
 @pytest.mark.benchmark(group="table2")
 def test_benchmark_optimized_efta_large_head_dim(benchmark, bench_rng):
     """Time the optimized EFTA kernel at the large-model head dimension (128)."""
+    from repro.core.config import AttentionConfig
+    from repro.core.schemes import build_scheme
+
     q = bench_rng.standard_normal((128, 128)).astype(np.float32)
     k = bench_rng.standard_normal((128, 128)).astype(np.float32)
     v = bench_rng.standard_normal((128, 128)).astype(np.float32)

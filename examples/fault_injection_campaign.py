@@ -2,17 +2,21 @@
 
 Sweeps single-event upsets over every protected stage of the fused attention
 kernel (GEMM I, exponentiation, GEMM II, rescale, normalisation, reduce-sum)
-as one declarative campaign per stage on the parallel, resumable runner
-(:mod:`repro.fault.runner`) -- a miniature version of the resilience study
-behind Figures 12 and 14.
+as ONE declarative :class:`~repro.exec.spec.ExperimentSpec` -- the fault site
+is a grid axis, and the whole sweep runs on any pluggable executor backend
+(serial, shared process pool, async shard dispatch) -- a miniature version of
+the resilience study behind Figures 12 and 14.
 
-Run with:  python examples/fault_injection_campaign.py [--workers N]
+Run with:  python examples/fault_injection_campaign.py [--executor NAME]
+                                                       [--workers N]
                                                        [--trials N]
                                                        [--results-dir DIR]
 
 With ``--results-dir`` every stage checkpoints its trials to a JSONL file, so
 an interrupted sweep resumes where it stopped (and re-running a completed
-sweep is instant).
+sweep is instant).  The equivalent spec file runs from the unified CLI::
+
+    python -m repro run spec.json --executor process --workers 4 --results out/
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from __future__ import annotations
 import argparse
 
 from repro import FaultSite
-from repro.fault.runner import CampaignSpec, run_campaign
+from repro.exec import ExperimentSpec, available_executors, run_experiment
 
 SITES = [
     FaultSite.GEMM_QK,
@@ -31,54 +35,56 @@ SITES = [
     FaultSite.NORMALIZE,
 ]
 
-#: Bit positions swept per representation (high mantissa through sign).
-FP16_BITS = [8, 10, 12, 13, 14, 15]
-FP32_BITS = [20, 23, 26, 28, 30, 31]
 
-
-def site_spec(site: FaultSite, n_trials: int) -> CampaignSpec:
-    fp16_site = site in (FaultSite.GEMM_QK, FaultSite.SUBTRACT_EXP)
-    return CampaignSpec(
+def site_sweep(n_trials: int) -> ExperimentSpec:
+    """All six pipeline stages as one sweep grid (bits/dtype default per site)."""
+    return ExperimentSpec(
         campaign="efta_site_resilience",
         n_trials=n_trials,
         seed=1,
-        params={
-            "site": site.value,
-            "bits": FP16_BITS if fp16_site else FP32_BITS,
-            "dtype": "fp16" if fp16_site else "fp32",
-            "seq_len": 192,
-            "head_dim": 64,
-            "block_size": 64,
-        },
-        name=f"site-{site.value}",
+        params={"seq_len": 192, "head_dim": 64, "block_size": 64},
+        grid={"site": [site.value for site in SITES]},
+        name="site-resilience",
     )
 
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=1, help="worker processes per campaign")
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=available_executors(),
+        help="execution backend (all backends give bit-identical results)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="parallelism budget")
     parser.add_argument("--trials", type=int, default=30, help="trials per pipeline stage")
     parser.add_argument(
         "--results-dir", default=None, help="checkpoint directory (enables resume)"
     )
     args = parser.parse_args(argv)
 
+    result = run_experiment(
+        site_sweep(args.trials),
+        executor=args.executor,
+        n_workers=args.workers,
+        results_path=args.results_dir,
+    )
+
     print(
         f"{'site':<14} {'trials':>6} {'detected':>9} {'repaired':>9} "
         f"{'clean out':>10} {'max rel err':>12}"
     )
     print("-" * 66)
-    for site in SITES:
-        spec = site_spec(site, args.trials)
-        results_path = (
-            f"{args.results_dir}/{spec.label}.jsonl" if args.results_dir else None
-        )
-        result = run_campaign(spec, n_workers=args.workers, results_path=results_path)
-        worst = max(o.output_rel_error for o in result.outcomes)
-        clean = sum(1 for o in result.outcomes if o.output_rel_error < 0.02) / result.n_trials
+    for entry in result.points:
+        campaign = entry.result
+        worst = max(o.output_rel_error for o in campaign.outcomes)
+        clean = sum(
+            1 for o in campaign.outcomes if o.output_rel_error < 0.02
+        ) / campaign.n_trials
         print(
-            f"{site.value:<14} {result.n_trials:>6} {result.detection_rate:>8.0%} "
-            f"{result.coverage:>8.0%} {clean:>9.0%} {worst:>12.3e}"
+            f"{entry.point['site']:<14} {campaign.n_trials:>6} "
+            f"{campaign.detection_rate:>8.0%} {campaign.coverage:>8.0%} "
+            f"{clean:>9.0%} {worst:>12.3e}"
         )
 
     print(

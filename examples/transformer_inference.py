@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro import available_schemes
+from repro.exec import ExperimentSpec, run_experiment
 from repro.fault import FaultInjector, FaultSite
-from repro.transformer import GPT2_SMALL, TransformerCostModel, TransformerModel, model_zoo
+from repro.transformer import GPT2_SMALL, TransformerModel, model_zoo
 
 
 def generate(model: TransformerModel, prompt: np.ndarray, steps: int, inject: bool) -> list[int]:
@@ -53,11 +54,20 @@ def main() -> None:
 
     print("\nSimulated A100 inference-step cost of the full-size models (Figure 15):")
     print(f"{'model':<12} {'step (ms)':>10} {'detection':>10} {'correction':>11}")
-    for full_config in model_zoo():
-        report = TransformerCostModel(full_config, seq_len=512).report()
+    costs = run_experiment(
+        ExperimentSpec(
+            campaign="transformer_cost",
+            n_trials=1,
+            params={"seq_len": 512},
+            grid={"model": [config.name for config in model_zoo()]},
+            name="fig15-example",
+        )
+    )
+    for entry in costs.points:
+        report = entry.result
         print(
-            f"{report.name:<12} {report.base_time * 1e3:>10.2f} "
-            f"{report.detection_overhead:>9.1%} {report.correction_overhead:>10.1%}"
+            f"{report['model']:<12} {report['base_time'] * 1e3:>10.2f} "
+            f"{report['detection_overhead']:>9.1%} {report['correction_overhead']:>10.1%}"
         )
 
 

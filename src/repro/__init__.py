@@ -29,6 +29,25 @@ from repro.core import (
 from repro.fault import FaultInjector, FaultSite, FaultSpec
 from repro.hardware import A100_PCIE_40GB, AttentionCostModel, AttentionWorkload
 
+#: Unified-experiment names resolved lazily (PEP 562) so that ``python -m
+#: repro.fault.runner`` / ``python -m repro.fault.sweep`` do not import those
+#: modules twice through the repro.exec dependency chain.
+_EXEC_EXPORTS = (
+    "ExperimentResult",
+    "ExperimentSpec",
+    "available_executors",
+    "register_executor",
+    "run_experiment",
+)
+
+
+def __getattr__(name: str):
+    if name in _EXEC_EXPORTS:
+        from repro import exec as _exec
+
+        return getattr(_exec, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -45,6 +64,11 @@ __all__ = [
     "FaultInjector",
     "FaultSite",
     "FaultSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "available_executors",
+    "register_executor",
+    "run_experiment",
     "A100_PCIE_40GB",
     "AttentionCostModel",
     "AttentionWorkload",

@@ -1,8 +1,14 @@
-"""Plain-text table/series formatting used by the benchmark harness.
+"""Plain-text table/series formatting used by the benchmark harness and CLIs.
 
 Every benchmark prints the rows/series of the table or figure it reproduces,
 next to the values the paper reports, so `pytest benchmarks/ --benchmark-only`
 doubles as the experiment log (captured into EXPERIMENTS.md).
+
+Campaign/sweep aggregates render through the explicit
+:class:`~repro.exec.results.SummaryProtocol`: anything with a
+``summary() -> dict`` formats as stat columns, threshold sweeps have their
+dedicated renderers, and any other object raises a clear ``TypeError``
+instead of silently falling through a duck-typed blank.
 """
 
 from __future__ import annotations
@@ -33,33 +39,55 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[float], fmt: str
     return f"{name}: {pairs}"
 
 
+#: Pretty column names for the canonical campaign statistics (single-campaign
+#: table on the left, compact sweep-table variant on the right).
+_CAMPAIGN_HEADERS = {
+    "n_trials": "trials",
+    "detection_rate": "detection rate",
+    "false_alarm_rate": "false alarm rate",
+    "coverage": "coverage",
+    "mean_output_error": "mean output error",
+}
+_SWEEP_HEADERS = {
+    "n_trials": "trials",
+    "detection_rate": "detection",
+    "false_alarm_rate": "false alarm",
+    "coverage": "coverage",
+    "mean_output_error": "mean err",
+}
+
+
+def _summary_of(result, context: str) -> dict:
+    """The explicit protocol check: ``summary()`` or a clear error."""
+    from repro.exec.results import SummaryProtocol
+
+    if not isinstance(result, SummaryProtocol):
+        raise TypeError(
+            f"{context} is a {type(result).__name__}, which does not implement "
+            "the SummaryProtocol (summary() -> dict); wrap it in a typed "
+            "result or render it with its dedicated formatter"
+        )
+    return result.summary()
+
+
 def format_campaign_result(result, title: str | None = None) -> str:
-    """Render a campaign aggregate (anything with ``CampaignResult.summary()``)."""
-    stats = result.summary()
-    return format_table(
-        ["trials", "detection rate", "false alarm rate", "coverage", "mean output error"],
-        [
-            [
-                stats["n_trials"],
-                stats["detection_rate"],
-                stats["false_alarm_rate"],
-                stats["coverage"],
-                stats["mean_output_error"],
-            ]
-        ],
-        title=title,
-    )
+    """Render one campaign aggregate (any :class:`SummaryProtocol` object)."""
+    stats = _summary_of(result, "campaign result")
+    headers = [_CAMPAIGN_HEADERS.get(key, key) for key in stats]
+    return format_table(headers, [list(stats.values())], title=title)
 
 
 def format_sweep_result(result, title: str | None = None) -> str:
     """Render a cross-campaign sweep as one merged table.
 
-    ``result`` is a :class:`repro.fault.sweep.SweepResult`: one row per grid
-    point, the grid axes as the leading columns and the campaign aggregate
-    statistics (duck-typed ``CampaignResult.summary()``) as the trailing
-    columns.  When the campaign's aggregate has no ``summary()`` (e.g. the
-    threshold-sweep kernels return :class:`ThresholdSweepPoint` lists), the
-    stat columns are replaced by one compact ``result`` column.
+    ``result`` is a :class:`repro.fault.sweep.SweepResult` or
+    :class:`repro.exec.results.ExperimentResult`: one row per grid point, the
+    grid axes as the leading columns and the per-point summary statistics as
+    the trailing columns.  Every aggregate must implement the
+    :class:`~repro.exec.results.SummaryProtocol` and agree on its summary
+    keys -- a result lacking ``summary()`` (other than the threshold-sweep
+    lists, which have their own compact rendering) raises a clear
+    ``TypeError`` instead of silently rendering a blank or lopsided column.
     """
     axes = result.sweep.axes
     if title is None:
@@ -67,40 +95,81 @@ def format_sweep_result(result, title: str | None = None) -> str:
             f"sweep: {result.sweep.label} "
             f"({len(result.entries)} campaigns x {result.sweep.n_trials} trials)"
         )
-    stat_keys = ["n_trials", "detection_rate", "false_alarm_rate", "coverage", "mean_output_error"]
+    entries = list(result.entries)
+    if not entries:
+        return format_table(axes, [], title=title)
 
-    def stats(entry):
-        # Duck-typed CampaignResult: a summary() carrying the expected keys.
-        if not hasattr(entry.result, "summary"):
-            return None
-        values = entry.result.summary()
-        if not all(k in values for k in stat_keys):
-            return None
-        return values
+    from repro.exec.results import SummaryProtocol
 
-    if all(stats(entry) is not None for entry in result.entries):
-        headers = axes + ["trials", "detection", "false alarm", "coverage", "mean err"]
-        rows = [
-            [entry.point[a] for a in axes] + [stats(entry)[k] for k in stat_keys]
-            for entry in result.entries
-        ]
-    else:
+    if all(_is_threshold_sweep(entry.result) for entry in entries):
         headers = axes + ["result"]
         rows = [
             [entry.point[a] for a in axes] + [_fmt_compact_result(entry.result)]
-            for entry in result.entries
+            for entry in entries
         ]
+        return format_table(headers, rows, title=title)
+
+    lacking = [entry for entry in entries if not isinstance(entry.result, SummaryProtocol)]
+    if lacking:
+        bad = lacking[0]
+        raise TypeError(
+            f"sweep entry {bad.point!r} aggregated to a "
+            f"{type(bad.result).__name__}, which does not implement the "
+            "SummaryProtocol (summary() -> dict); every grid point must "
+            "produce a summarisable result to share one table"
+        )
+
+    keys = [key for key in entries[0].result.summary() if key not in axes]
+    rows = []
+    for entry in entries:
+        values = entry.result.summary()
+        missing = [key for key in keys if key not in values]
+        if missing:
+            raise ValueError(
+                f"sweep entry {entry.point!r} summary lacks keys {missing} "
+                "present in the first grid point; summaries must agree to "
+                "share one table"
+            )
+        rows.append([entry.point[a] for a in axes] + [values[k] for k in keys])
+    headers = axes + [_SWEEP_HEADERS.get(key, key) for key in keys]
     return format_table(headers, rows, title=title)
 
 
+def format_experiment_result(result, title: str | None = None) -> str:
+    """Render a typed :class:`~repro.exec.results.ExperimentResult`.
+
+    A sweep renders as the merged grid table; a single campaign dispatches on
+    its aggregate (campaign statistics, threshold curves, or ``repr``).
+    """
+    if result.spec.is_sweep:
+        return format_sweep_result(result, title=title)
+    if title is None:
+        title = f"campaign: {result.spec.label} ({result.spec.n_trials} trials)"
+    return format_point_result(result.result, title=title)
+
+
+def format_point_result(result, title: str | None = None) -> str:
+    """Render one grid point's aggregate, whatever its type."""
+    from repro.exec.results import SummaryProtocol
+
+    if _is_threshold_sweep(result):
+        return format_threshold_sweep(result, title=title)
+    if isinstance(result, SummaryProtocol):
+        return format_campaign_result(result, title=title)
+    prefix = f"{title}\n" if title else ""
+    return prefix + repr(result)
+
+
+def _is_threshold_sweep(result) -> bool:
+    return isinstance(result, list) and bool(result) and hasattr(result[0], "threshold")
+
+
 def _fmt_compact_result(result) -> str:
-    """One-cell rendering of a campaign aggregate without a ``summary()``."""
-    if isinstance(result, list) and result and hasattr(result[0], "threshold"):
-        return "; ".join(
-            f"t={_fmt(p.threshold)} det={p.detection_rate:.2f} fa={p.false_alarm_rate:.2f}"
-            for p in result
-        )
-    return repr(result)
+    """One-cell rendering of a threshold-sweep aggregate."""
+    return "; ".join(
+        f"t={_fmt(p.threshold)} det={p.detection_rate:.2f} fa={p.false_alarm_rate:.2f}"
+        for p in result
+    )
 
 
 def format_threshold_sweep(points, title: str | None = None) -> str:

@@ -1,0 +1,263 @@
+"""The ``repro`` umbrella command line: one CLI for every experiment.
+
+::
+
+    python -m repro run spec.json [--executor serial|process|async]
+                                  [--workers N] [--results PATH]
+    python -m repro sweep spec.json [--expand-only] [...]
+    python -m repro list-campaigns
+    python -m repro report PATH [PATH ...]
+
+``run`` auto-detects campaign vs. sweep specs (a ``grid`` key marks a sweep)
+and executes through any registered backend; ``sweep`` is the same engine but
+insists on a grid and can print the expanded campaigns; ``list-campaigns``
+shows every registered trial kernel with its one-line summary; ``report``
+re-renders finished JSONL results (a campaign file, an experiment stream, or
+a sweep results directory) without re-running anything.
+
+The legacy ``python -m repro.fault.runner`` / ``python -m repro.fault.sweep``
+entry points forward here with deprecation notices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.checkpoint import campaign_results_path
+from repro.exec.engine import MANIFEST_NAME, run_experiment
+from repro.exec.executors import available_executors
+from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
+from repro.exec.spec import ExperimentSpec
+
+
+def deprecation_note(old: str, new: str) -> None:
+    """Print the forwarding notice the legacy CLIs emit (stderr, not stdout)."""
+    print(f"note: {old} is deprecated; use {new} instead", file=sys.stderr)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", help="path to an experiment spec JSON file")
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        metavar="|".join(available_executors()),
+        help="execution backend (default: serial); all backends are "
+        "bit-identical for any worker count",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallelism budget of the backend"
+    )
+    parser.add_argument(
+        "--results",
+        default=None,
+        help="checkpoint path enabling resume: a JSONL file for a campaign "
+        "spec, a directory of per-point JSONL files for a sweep spec",
+    )
+
+
+def _check_results_path(parser: argparse.ArgumentParser, spec: ExperimentSpec, results) -> None:
+    if results is None:
+        return
+    path = Path(results)
+    if spec.is_sweep and path.is_file():
+        parser.error(
+            f"--results {results} is a file, but a sweep spec checkpoints "
+            "into a directory of per-point JSONL files"
+        )
+    if not spec.is_sweep and path.is_dir():
+        parser.error(
+            f"--results {results} is a directory, but a campaign spec "
+            "checkpoints into a single JSONL file"
+        )
+
+
+def _load_spec(parser: argparse.ArgumentParser, path: str) -> ExperimentSpec:
+    try:
+        return ExperimentSpec.from_json(Path(path).read_text())
+    except FileNotFoundError:
+        parser.error(f"spec file {path} does not exist")
+    except ValueError as exc:
+        parser.error(f"invalid spec file {path}: {exc}")
+
+
+def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    spec = _load_spec(parser, args.spec)
+    _check_results_path(parser, spec, args.results)
+    result = run_experiment(
+        spec,
+        executor=args.executor,
+        n_workers=args.workers,
+        results_path=args.results,
+    )
+    from repro.analysis.reporting import format_experiment_result
+
+    print(format_experiment_result(result))
+    return 0
+
+
+def cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    spec = _load_spec(parser, args.spec)
+    if not spec.is_sweep:
+        parser.error(
+            f"spec file {args.spec} has no grid; it is a single campaign "
+            "(run it with `repro run`)"
+        )
+    if args.expand_only:
+        for campaign in spec.expand():
+            print(campaign.to_json())
+        return 0
+    return cmd_run(parser, args)
+
+
+def cmd_list_campaigns(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.fault.runner import campaign_summaries
+
+    summaries = campaign_summaries()
+    width = max((len(name) for name, _ in summaries), default=0)
+    for name, summary in summaries:
+        print(f"{name.ljust(width)}  {summary}".rstrip())
+    return 0
+
+
+def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    blocks = []
+    for raw in args.results:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"results path {raw} does not exist")
+        if path.is_dir():
+            blocks.extend(_report_directory(parser, path))
+        else:
+            blocks.append(_report_file(parser, path))
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _report_file(parser: argparse.ArgumentParser, path: Path) -> str:
+    """Render one results file: a campaign checkpoint or an experiment stream."""
+    from repro.analysis.reporting import format_experiment_result, format_point_result
+
+    text = path.read_text()
+    if _has_experiment_header(text):
+        result = ExperimentResult.from_jsonl(text)
+        if not result.complete:
+            parser.error(f"{path} holds an incomplete experiment shard")
+        return format_experiment_result(result)
+    try:
+        records = TrialRecordSet.from_jsonl(text)
+    except ValueError as exc:
+        parser.error(f"cannot parse {path}: {exc}")
+    if not records.complete:
+        parser.error(
+            f"{path} is incomplete ({len(records)}/{records.spec.n_trials} "
+            "trials); finish the run before reporting"
+        )
+    title = f"campaign: {records.spec.label} ({records.spec.n_trials} trials)"
+    return format_point_result(records.aggregate(), title=title)
+
+
+def _has_experiment_header(text: str) -> bool:
+    """Whether JSONL text opens with an ``{"experiment": ...}`` header line."""
+    lines = text.splitlines()
+    if not lines:
+        return False
+    try:
+        head = json.loads(lines[0])
+    except ValueError:
+        return False
+    return isinstance(head, dict) and "experiment" in head
+
+
+def _report_directory(parser: argparse.ArgumentParser, path: Path) -> list[str]:
+    """Render a sweep results directory (manifest-aware, else per-file)."""
+    from repro.analysis.reporting import format_experiment_result
+
+    manifest = path / MANIFEST_NAME
+    if manifest.exists():
+        spec = ExperimentSpec.from_json(manifest.read_text())
+        points = []
+        for index, (point, campaign_spec) in enumerate(spec.expanded()):
+            point_path = campaign_results_path(path, index, campaign_spec)
+            if not point_path.exists():
+                parser.error(
+                    f"sweep directory {path} is missing grid point {index} "
+                    f"({point_path.name}); finish the run before reporting"
+                )
+            records = TrialRecordSet.load(point_path, spec=campaign_spec)
+            if not records.complete:
+                parser.error(
+                    f"{point_path} is incomplete "
+                    f"({len(records)}/{records.spec.n_trials} trials)"
+                )
+            points.append(
+                PointResult(
+                    index=index,
+                    point=point,
+                    spec=campaign_spec,
+                    records=records,
+                    result=records.aggregate(),
+                )
+            )
+        return [format_experiment_result(ExperimentResult(spec=spec, points=points))]
+    jsonl_files = sorted(p for p in path.iterdir() if p.suffix == ".jsonl")
+    if not jsonl_files:
+        parser.error(f"results directory {path} holds no JSONL files")
+    return [_report_file(parser, p) for p in jsonl_files]
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, sweep and report the paper's experiments from "
+        "declarative JSON specs through pluggable executor backends.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a campaign or sweep spec (auto-detected)"
+    )
+    _add_execution_flags(run)
+    run.set_defaults(handler=cmd_run)
+
+    sweep = commands.add_parser("sweep", help="run a sweep spec (requires a grid)")
+    _add_execution_flags(sweep)
+    sweep.add_argument(
+        "--expand-only",
+        action="store_true",
+        help="print the expanded campaign specs as JSON lines and exit",
+    )
+    sweep.set_defaults(handler=cmd_sweep)
+
+    list_parser = commands.add_parser(
+        "list-campaigns", help="list registered trial kernels with summaries"
+    )
+    list_parser.set_defaults(handler=cmd_list_campaigns)
+
+    report = commands.add_parser(
+        "report", help="re-render finished JSONL results without re-running"
+    )
+    report.add_argument(
+        "results", nargs="+", help="results files and/or sweep directories"
+    )
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(parser, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Deterministic roofline-cost kernels: the paper's tables/figures as specs.
+
+The cross-scheme timing artifacts (Figure 9, Figure 15, Tables 1-2) are
+"evaluate a cost model over a grid and tabulate" -- exactly the shape of a
+sweep.  These registered kernels put them on the same
+:class:`~repro.exec.spec.ExperimentSpec` / executor / report pipeline as the
+Monte-Carlo campaigns, so one CLI regenerates every artifact::
+
+    {"campaign": "attention_cost", "n_trials": 1,
+     "base_params": {"heads": 16, "head_dim": 64},
+     "grid": {"scheme": ["efta", "efta_unified", "decoupled"],
+              "seq_len": [512, 1024, 2048, 4096, 8192, 16384]}}
+
+Each kernel is a *single-trial, zero-randomness* campaign: the record is a
+pure function of the grid point, the aggregate is the record itself (a typed
+:class:`~repro.exec.results.RecordSummary`), and the sweep report renders the
+record fields as columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exec.results import single_record_aggregate
+from repro.fault.runner import register_campaign
+
+#: Fixed total token count of the paper's attention sweeps (Section 4.1).
+TOTAL_TOKENS = 16 * 1024
+
+
+@register_campaign("attention_cost", aggregate=single_record_aggregate)
+def _attention_cost_trial(rng: np.random.Generator, params: dict) -> dict:
+    """Simulated A100 cost of one protection scheme at one attention shape."""
+    from repro.core.config import AttentionConfig
+    from repro.core.schemes import build_scheme
+    from repro.hardware.costmodel import AttentionWorkload
+
+    scheme_name = str(params.get("scheme", "efta_unified"))
+    seq_len = int(params.get("seq_len", 512))
+    heads = int(params.get("heads", 16))
+    head_dim = int(params.get("head_dim", 64))
+    total_tokens = int(params.get("total_tokens", TOTAL_TOKENS))
+    batch = int(
+        params.get(
+            "batch",
+            AttentionWorkload.with_total_tokens(seq_len, total_tokens=total_tokens).batch,
+        )
+    )
+
+    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim)
+    scheme = build_scheme(scheme_name, config)
+    cost = scheme.cost_breakdown(batch, heads)
+    return {
+        "scheme": scheme_name,
+        "seq_len": seq_len,
+        "batch": batch,
+        "base_time": float(cost.base_time),
+        "total_time": float(cost.total_time),
+        "overhead": float(cost.overhead),
+        "fits_in_memory": bool(scheme.fits_in_memory(batch, heads)),
+    }
+
+
+@register_campaign("transformer_cost", aggregate=single_record_aggregate)
+def _transformer_cost_trial(rng: np.random.Generator, params: dict) -> dict:
+    """Simulated A100 inference-step cost of one full-size Transformer model."""
+    from repro.transformer.configs import get_config
+    from repro.transformer.costing import TransformerCostModel
+
+    name = str(params.get("model", "GPT2"))
+    seq_len = int(params.get("seq_len", 512))
+    faults = int(params.get("faults_per_attention", 1))
+    report = TransformerCostModel(get_config(name), seq_len=seq_len).report(
+        faults_per_attention=faults
+    )
+    return {
+        "model": report.name,
+        "seq_len": seq_len,
+        "base_time": float(report.base_time),
+        "detection_time": float(report.detection_time),
+        "correction_time": float(report.correction_time),
+        "detection_overhead": float(report.detection_overhead),
+        "correction_overhead": float(report.correction_overhead),
+    }

@@ -1,0 +1,179 @@
+"""The experiment engine: one spec, one checkpoint layer, any executor.
+
+:class:`ExperimentRunner` executes an :class:`~repro.exec.spec.ExperimentSpec`
+(or anything coercible to one -- a legacy campaign/sweep spec, a dict, JSON
+text) through a pluggable :class:`~repro.exec.executors.Executor` backend and
+returns a typed :class:`~repro.exec.results.ExperimentResult`.
+
+The engine owns everything the backends must agree on:
+
+* **expansion** -- grid points in deterministic order, common root seed;
+* **checkpointing** -- one JSONL file per grid point (a single file for a
+  plain campaign, a ``NNN-<label>.jsonl`` directory for a sweep), appended as
+  records land, resumed on restart, rewritten canonically on completion.
+  Because records are keyed by ``(point, trial)`` and per-trial seeds derive
+  from the spec root, the finished files are *byte-identical* across
+  backends, worker counts and interruption histories;
+* **aggregation** -- each grid point's records fold through its campaign's
+  registered aggregator into the typed result.
+
+Convenience wrapper::
+
+    result = run_experiment(spec, executor="process", n_workers=8,
+                            results_path="out/")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
+from repro.exec.executors import Executor, TrialSlice, build_executor
+from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
+from repro.exec.spec import ExperimentSpec
+from repro.fault.runner import _canonical_json
+
+#: Name of the spec manifest an engine run drops into a sweep results
+#: directory (lets ``python -m repro report <dir>`` rebuild the experiment).
+MANIFEST_NAME = "experiment.json"
+
+
+def _experiment_resume_key(spec: ExperimentSpec) -> str:
+    """Resume-identity of an experiment: everything but the cosmetic name."""
+    data = {k: v for k, v in spec.to_dict().items() if k != "name"}
+    return _canonical_json(data)
+
+
+class ExperimentRunner:
+    """Executes an experiment spec on a chosen backend, checkpointed.
+
+    Parameters
+    ----------
+    spec:
+        Anything :meth:`ExperimentSpec.from_any` accepts.
+    executor:
+        Backend name (``"serial"``, ``"process"``, ``"async"``, or any
+        ``@register_executor`` plug-in) or a ready :class:`Executor`.
+    n_workers:
+        Parallelism budget handed to the backend.
+    results_path:
+        Optional checkpoint location: a JSONL file for a single campaign, a
+        directory of per-point JSONL files for a sweep.  Existing files are
+        used to skip finished trials (resume); completed files are rewritten
+        in canonical trial-sorted order.
+    """
+
+    def __init__(
+        self,
+        spec: Any,
+        executor: str | Executor = "serial",
+        n_workers: int = 1,
+        results_path: str | Path | None = None,
+    ) -> None:
+        self.spec = ExperimentSpec.from_any(spec)
+        self.executor = build_executor(executor, n_workers=n_workers)
+        self.results_path = Path(results_path) if results_path is not None else None
+        if self.results_path is not None:
+            if self.spec.is_sweep and self.results_path.is_file():
+                raise ValueError(
+                    f"results path {self.results_path} is a file, but a sweep "
+                    "checkpoints into a directory of per-point JSONL files"
+                )
+            if not self.spec.is_sweep and self.results_path.is_dir():
+                raise ValueError(
+                    f"results path {self.results_path} is a directory, but a "
+                    "campaign checkpoints into a single JSONL file"
+                )
+
+    # ------------------------------------------------------------------ #
+    def _point_path(self, index: int, spec) -> Path | None:
+        if self.results_path is None:
+            return None
+        if not self.spec.is_sweep:
+            return self.results_path
+        return campaign_results_path(self.results_path, index, spec)
+
+    def _write_manifest(self) -> None:
+        if self.results_path is None or not self.spec.is_sweep:
+            return
+        manifest = self.results_path / MANIFEST_NAME
+        if manifest.exists():
+            existing = ExperimentSpec.from_json(manifest.read_text())
+            if _experiment_resume_key(existing) != _experiment_resume_key(self.spec):
+                raise ValueError(
+                    f"{manifest} describes a different experiment; refusing "
+                    "to mix results of two sweeps in one directory"
+                )
+            return
+        self.results_path.mkdir(parents=True, exist_ok=True)
+        manifest.write_text(self.spec.to_json() + "\n")
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ExperimentResult:
+        """Run (or resume) every grid point and return the typed result."""
+        expanded = self.spec.expanded()
+        self._write_manifest()
+
+        checkpoints: list[TrialCheckpoint] = []
+        record_sets: list[TrialRecordSet] = []
+        slices: list[TrialSlice] = []
+        needs_header: list[bool] = []
+        for index, (_, campaign_spec) in enumerate(expanded):
+            checkpoint = TrialCheckpoint(campaign_spec, self._point_path(index, campaign_spec))
+            loaded = checkpoint.load()
+            records = TrialRecordSet(spec=campaign_spec, records=loaded)
+            pending = records.missing()
+            if pending:
+                slices.append(
+                    TrialSlice(index, campaign_spec.to_dict(), tuple(pending))
+                )
+            checkpoints.append(checkpoint)
+            record_sets.append(records)
+            needs_header.append(not loaded)
+
+        # Sinks open lazily on a point's first record and close as soon as the
+        # point completes, so concurrent file descriptors are bounded by the
+        # number of in-flight grid points, not the grid size.
+        opened: set[int] = set()
+        try:
+            for point_index, trial, record in self.executor.execute(slices):
+                if point_index not in opened:
+                    checkpoints[point_index].open(header=needs_header[point_index])
+                    opened.add(point_index)
+                record_sets[point_index].add(trial, record)
+                checkpoints[point_index].append(trial, record)
+                if record_sets[point_index].complete:
+                    checkpoints[point_index].close()
+        finally:
+            for checkpoint in checkpoints:
+                checkpoint.close()
+
+        points = []
+        for index, (point, campaign_spec) in enumerate(expanded):
+            records = record_sets[index]
+            checkpoints[index].write_canonical(records.ordered())
+            points.append(
+                PointResult(
+                    index=index,
+                    point=point,
+                    spec=campaign_spec,
+                    records=records,
+                    result=records.aggregate(),
+                )
+            )
+        return ExperimentResult(
+            spec=self.spec, points=points, executor=self.executor.name
+        )
+
+
+def run_experiment(
+    spec: Any,
+    executor: str | Executor = "serial",
+    n_workers: int = 1,
+    results_path: str | Path | None = None,
+) -> ExperimentResult:
+    """Convenience wrapper: build an :class:`ExperimentRunner` and run it."""
+    return ExperimentRunner(
+        spec, executor=executor, n_workers=n_workers, results_path=results_path
+    ).run()

@@ -53,6 +53,7 @@ _RUNNER_EXPORTS = (
     "CampaignRunner",
     "CampaignSpec",
     "available_campaigns",
+    "campaign_summaries",
     "register_campaign",
     "run_campaign",
 )
@@ -87,6 +88,7 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "available_campaigns",
+    "campaign_summaries",
     "register_campaign",
     "run_campaign",
     "SweepEntry",

@@ -471,6 +471,15 @@ def restriction_error_distribution(
 # --------------------------------------------------------------------------- #
 # Pipeline-stage resilience of the fused kernel (examples/fault_injection_*)
 # --------------------------------------------------------------------------- #
+#: Pipeline stages whose values live in FP16 registers (the two GEMM-adjacent
+#: stages); the reductions and normalisation accumulate in FP32.
+_FP16_SITES = {"gemm_qk", "subtract_exp"}
+
+#: Default consequential bit positions per representation (high mantissa
+#: through sign), matching the paper's SEU model.
+_DEFAULT_BITS = {"fp16": [8, 10, 12, 13, 14, 15], "fp32": [20, 23, 26, 28, 30, 31]}
+
+
 @register_campaign("efta_site_resilience")
 def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
     """One SEU trial against a chosen stage of the fused protected kernel."""
@@ -482,8 +491,18 @@ def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
     from repro.fault.models import FaultSite
 
     site = FaultSite(params["site"])
-    bits = [int(b) for b in params["bits"]]
-    dtype = str(params.get("dtype", "fp16"))
+    # dtype and bit positions default per fault site, so a sweep grid can
+    # vary `site` alone without re-deriving the representation for each.
+    # Specs that pin `bits` without `dtype` keep the historical fp16 default:
+    # their bit positions were chosen for that representation, and resumed
+    # pre-existing checkpoints must not mix fault models.
+    if "dtype" in params:
+        dtype = str(params["dtype"])
+    elif "bits" in params:
+        dtype = "fp16"
+    else:
+        dtype = "fp16" if site.value in _FP16_SITES else "fp32"
+    bits = [int(b) for b in params.get("bits", _DEFAULT_BITS.get(dtype, _DEFAULT_BITS["fp16"]))]
     seq_len = int(params.get("seq_len", 192))
     head_dim = int(params.get("head_dim", 64))
     block_size = int(params.get("block_size", 64))

@@ -1,4 +1,5 @@
-"""Declarative, parallel, resumable Monte-Carlo campaign runner.
+"""Declarative Monte-Carlo campaign specs, the trial-kernel registry, and the
+legacy single-campaign runner.
 
 The seed implemented every fault-injection campaign as a bespoke serial loop.
 This module factors the shared machinery out into three pieces so new
@@ -14,28 +15,27 @@ sweeps) plug in with a single registered function:
   per-trial function ``trial(rng, params) -> record`` plus an aggregator that
   folds the per-trial records into the campaign's result object (a
   :class:`~repro.fault.metrics.CampaignResult` by default).
-* :class:`CampaignRunner` -- shards the trials of a spec across
-  ``multiprocessing`` workers.  Every trial draws from its own generator
-  seeded by ``SeedSequence(spec.seed).spawn(n_trials)[trial]``, so the
-  aggregate result is bit-identical regardless of worker count or scheduling.
-  With a ``results_path`` the runner appends one JSONL line per finished
-  trial and, on a later invocation, skips trial indices already on disk --
-  a campaign killed mid-run resumes to the same final result.  Completed
-  result files are rewritten in canonical (trial-sorted) form, so the bytes
-  on disk are also identical across worker counts and interruptions.
+* :class:`CampaignRunner` -- the legacy single-campaign entry point, now a
+  thin wrapper over the unified engine in :mod:`repro.exec`: the spec is
+  lifted into an :class:`~repro.exec.spec.ExperimentSpec` and executed on the
+  ``serial`` backend (``n_workers == 1``, in-process, usable with
+  locally-registered kernels) or the shared ``process`` pool.  Every trial
+  draws from its own generator seeded by
+  ``SeedSequence(spec.seed).spawn(n_trials)[trial]``, so the aggregate result
+  is bit-identical regardless of backend, worker count or scheduling.  With a
+  ``results_path`` each finished trial is checkpointed to JSONL, interrupted
+  campaigns resume, and completed files are rewritten in canonical
+  (trial-sorted) form -- identical bytes for every execution history.
 
-Run a spec file from the command line with::
-
-    python -m repro.fault.runner spec.json --workers 4 --results out.jsonl
+The ``python -m repro.fault.runner`` command line survives as a forwarding
+shim around ``python -m repro run`` (see :mod:`repro.exec.cli`).
 """
 
 from __future__ import annotations
 
 import argparse
-import functools
 import json
 import multiprocessing
-import os
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -179,9 +179,11 @@ def register_campaign(name: str, aggregate: AggregateFn | None = None) -> Callab
 
 
 def _ensure_builtin_campaigns() -> None:
-    # The built-in kernels live in repro.fault.campaign, which imports this
-    # module for the decorator; import lazily to break the cycle (and so
-    # spawned workers repopulate the registry on first use).
+    # The built-in kernels live in repro.fault.campaign (Monte-Carlo fault
+    # injection) and repro.exec.costing (deterministic roofline costs), both
+    # of which import this module for the decorator; import lazily to break
+    # the cycle (and so spawned workers repopulate the registry on first use).
+    import repro.exec.costing  # noqa: F401
     import repro.fault.campaign  # noqa: F401
 
 
@@ -201,6 +203,16 @@ def available_campaigns() -> list[str]:
     """Sorted names of all registered campaigns."""
     _ensure_builtin_campaigns()
     return sorted(_REGISTRY)
+
+
+def campaign_summaries() -> list[tuple[str, str]]:
+    """Sorted ``(name, one-line docstring summary)`` pairs of all campaigns."""
+    _ensure_builtin_campaigns()
+    pairs = []
+    for name in sorted(_REGISTRY):
+        doc = (_REGISTRY[name].trial.__doc__ or "").strip()
+        pairs.append((name, doc.splitlines()[0].strip() if doc else ""))
+    return pairs
 
 
 # --------------------------------------------------------------------------- #
@@ -236,6 +248,10 @@ def _canonical_json(obj: Any) -> str:
 class CampaignRunner:
     """Executes a :class:`CampaignSpec`, optionally sharded and checkpointed.
 
+    A thin wrapper over the unified engine (:mod:`repro.exec`): the spec is
+    lifted into a single-point :class:`~repro.exec.spec.ExperimentSpec` and
+    executed on the ``serial`` or shared ``process`` backend.
+
     Parameters
     ----------
     spec:
@@ -266,120 +282,29 @@ class CampaignRunner:
     # ------------------------------------------------------------------ #
     def run(self) -> Any:
         """Run (or resume) the campaign and return its aggregated result."""
-        definition = get_campaign(self.spec.campaign)
-        records = self._collect_records()
-        ordered = [records[i] for i in range(self.spec.n_trials)]
-        if self.results_path is not None:
-            self._write_canonical(ordered)
-        return definition.aggregate(ordered, dict(self.spec.params))
+        from repro.exec.engine import ExperimentRunner
+        from repro.exec.spec import ExperimentSpec
+
+        result = ExperimentRunner(
+            ExperimentSpec.from_campaign(self.spec),
+            executor="serial" if self.n_workers == 1 else "process",
+            n_workers=self.n_workers,
+            results_path=self.results_path,
+        ).run()
+        return result.points[0].result
 
     # ------------------------------------------------------------------ #
-    def _collect_records(self) -> dict[int, TrialRecord]:
-        records = self._load_checkpoint()
-        pending = [i for i in range(self.spec.n_trials) if i not in records]
-        if not pending:
-            return records
-        spec_dict = self.spec.to_dict()
-        sink = self._open_checkpoint(header=not records)
-        try:
-            if self.n_workers == 1:
-                # In-process: also usable with trial kernels registered only
-                # in this interpreter (tests, notebooks).  Iterating lazily
-                # checkpoints each trial as it finishes, so a killed serial
-                # run loses at most one trial.
-                for index, record in _iter_trial_records(spec_dict, pending):
-                    records[index] = record
-                    self._checkpoint(sink, index, record)
-            else:
-                # Small batches bound how much work a kill can lose: each
-                # finished batch is checkpointed before the next is handed out.
-                n_chunks = max(self.n_workers * 4, -(-len(pending) // 32))
-                chunks = _chunk(pending, n_chunks)
-                ctx = _mp_context()
-                with ctx.Pool(processes=min(self.n_workers, len(chunks))) as pool:
-                    batches = pool.imap_unordered(
-                        functools.partial(_run_trial_batch, spec_dict), chunks, chunksize=1
-                    )
-                    for batch in batches:
-                        for index, record in batch:
-                            records[index] = record
-                            self._checkpoint(sink, index, record)
-        finally:
-            if sink is not None:
-                sink.close()
-        return records
-
-    # ------------------------------------------------------------------ #
-    def _load_checkpoint(self) -> dict[int, TrialRecord]:
-        records: dict[int, TrialRecord] = {}
-        if self.results_path is None or not self.results_path.exists():
-            return records
-        spec_key = _resume_key(self.spec.to_dict())
-        for line in self.results_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from an interrupted run; recompute
-            if "spec" in entry:
-                if _resume_key(entry["spec"]) != spec_key:
-                    raise ValueError(
-                        f"{self.results_path} holds results for a different "
-                        "campaign spec; refusing to resume"
-                    )
-                continue
-            index = entry.get("trial")
-            if isinstance(index, int) and 0 <= index < self.spec.n_trials:
-                records[index] = entry["record"]
-        return records
-
+    # Checkpoint plumbing kept for callers of the old private surface; the
+    # implementation lives in repro.exec.checkpoint now.
     def _open_checkpoint(self, header: bool):
-        if self.results_path is None:
-            return None
-        self.results_path.parent.mkdir(parents=True, exist_ok=True)
-        sink = self.results_path.open("a")
-        if sink.tell() == 0:
-            if header:
-                sink.write(_canonical_json({"spec": self.spec.to_dict()}) + "\n")
-                sink.flush()
-        else:
-            # A kill mid-write can leave a torn final line without a newline;
-            # start appended records on a fresh line so they stay parseable.
-            # Probe only the last byte -- the file can be huge.
-            with self.results_path.open("rb") as existing:
-                existing.seek(-1, os.SEEK_END)
-                last_byte = existing.read(1)
-            if last_byte != b"\n":
-                sink.write("\n")
-                sink.flush()
-        return sink
+        from repro.exec.checkpoint import TrialCheckpoint
+
+        return TrialCheckpoint(self.spec, self.results_path).open(header=header)
 
     def _checkpoint(self, sink, index: int, record: TrialRecord) -> None:
-        if sink is None:
-            return
-        sink.write(_canonical_json({"trial": index, "record": record}) + "\n")
-        sink.flush()
+        from repro.exec.checkpoint import TrialCheckpoint
 
-    def _write_canonical(self, ordered: Sequence[TrialRecord]) -> None:
-        lines = [_canonical_json({"spec": self.spec.to_dict()})]
-        lines += [
-            _canonical_json({"trial": i, "record": record})
-            for i, record in enumerate(ordered)
-        ]
-        content = ("\n".join(lines) + "\n").encode()
-        if (
-            self.results_path.exists()
-            and self.results_path.stat().st_size == len(content)
-            and self.results_path.read_bytes() == content
-        ):
-            return
-        # Atomic replace: a kill during the rewrite must not destroy trial
-        # lines that were already safely checkpointed.
-        tmp = self.results_path.with_name(self.results_path.name + ".tmp")
-        tmp.write_bytes(content)
-        os.replace(tmp, self.results_path)
+        TrialCheckpoint(self.spec, self.results_path).append(index, record, sink=sink)
 
 
 def _resume_key(spec_dict: dict) -> str:
@@ -417,22 +342,19 @@ def run_campaign(
 # --------------------------------------------------------------------------- #
 def format_result(result: Any, title: str | None = None) -> str:
     """Render an aggregated campaign result as a plain-text report."""
-    from repro.analysis.reporting import format_campaign_result, format_threshold_sweep
+    from repro.analysis.reporting import format_point_result
 
-    if isinstance(result, CampaignResult):
-        return format_campaign_result(result, title=title)
-    if isinstance(result, list) and result and hasattr(result[0], "threshold"):
-        return format_threshold_sweep(result, title=title)
-    prefix = f"{title}\n" if title else ""
-    return prefix + repr(result)
+    return format_point_result(result, title=title)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Forwarding shim: ``python -m repro.fault.runner`` -> ``python -m repro run``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.fault.runner",
-        description="Run a declarative fault-injection campaign from a JSON spec file.",
+        description="[deprecated: use `python -m repro run`] Run a declarative "
+        "fault-injection campaign (or sweep) from a JSON spec file.",
     )
-    parser.add_argument("spec", nargs="?", help="path to a CampaignSpec JSON file")
+    parser.add_argument("spec", nargs="?", help="path to a CampaignSpec/SweepSpec JSON file")
     parser.add_argument("--workers", type=int, default=1, help="number of worker processes")
     parser.add_argument(
         "--results",
@@ -445,18 +367,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.exec import cli
+
+    cli.deprecation_note("python -m repro.fault.runner", "python -m repro run")
     if args.list_campaigns:
-        for name in available_campaigns():
-            print(name)
-        return 0
+        return cli.main(["list-campaigns"])
     if args.spec is None:
         parser.error("a spec file is required (or use --list-campaigns)")
-    text = Path(args.spec).read_text()
     from repro.fault.sweep import SweepSpec, is_sweep_dict, run_sweep
 
-    if is_sweep_dict(json.loads(text)):
-        # A sweep spec (it has a "grid"): expand and run every campaign.  The
-        # --results checkpoint becomes a directory of per-campaign files.
+    data = json.loads(Path(args.spec).read_text())
+    if is_sweep_dict(data) and not data.get("grid"):
+        # Legacy behaviour: a sweep-shaped spec with an empty grid still used
+        # sweep semantics (--results is a directory holding 000-<label>.jsonl),
+        # which ExperimentSpec would read as a plain campaign.  Run it through
+        # the engine-backed sweep wrapper to keep old checkpoints resumable.
         from repro.analysis.reporting import format_sweep_result
 
         if args.results is not None and Path(args.results).is_file():
@@ -464,15 +389,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"--results {args.results} is a file, but a sweep spec "
                 "checkpoints into a directory of per-campaign JSONL files"
             )
-        sweep_result = run_sweep(
-            SweepSpec.from_json(text), n_workers=args.workers, results_dir=args.results
+        result = run_sweep(
+            SweepSpec.from_dict(data), n_workers=args.workers, results_dir=args.results
         )
-        print(format_sweep_result(sweep_result))
+        print(format_sweep_result(result))
         return 0
-    spec = CampaignSpec.from_json(text)
-    result = run_campaign(spec, n_workers=args.workers, results_path=args.results)
-    print(format_result(result, title=f"campaign: {spec.label} ({spec.n_trials} trials)"))
-    return 0
+    forwarded = ["run", args.spec, "--workers", str(args.workers)]
+    if args.workers > 1:
+        # The legacy runner pooled workers whenever --workers > 1; the new
+        # CLI defaults to the serial backend, so forward that choice too.
+        forwarded += ["--executor", "process"]
+    if args.results is not None:
+        forwarded += ["--results", args.results]
+    return cli.main(forwarded)
 
 
 if __name__ == "__main__":

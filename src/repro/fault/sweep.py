@@ -2,12 +2,12 @@
 
 A :class:`SweepSpec` is the grid-level analogue of
 :class:`~repro.fault.runner.CampaignSpec`: a base campaign plus a parameter
-grid.  Expansion takes the Cartesian product of the grid axes (axes in sorted
-key order, values in the order given) and yields one ``CampaignSpec`` per
-grid point; each expanded campaign runs on the existing checkpoint/resume
-:class:`~repro.fault.runner.CampaignRunner`, so a killed sweep resumes
-without re-running completed campaigns, and the merged cross-scheme report is
-identical for any worker count.
+grid.  Since the unified-experiment redesign it is a *thin wrapper* over
+:class:`~repro.exec.spec.ExperimentSpec` -- grid expansion and execution both
+delegate to :mod:`repro.exec`, which runs every grid point through a shared
+executor backend (sweep-level parallelism) with per-point JSONL
+checkpoint/resume, and the merged cross-scheme report is bit-identical for
+any backend and worker count.
 
 The spec round-trips losslessly through JSON::
 
@@ -23,26 +23,30 @@ The spec round-trips losslessly through JSON::
       "name": "fig15-coverage"
     }
 
-Run it sharded and checkpointed from the command line with::
-
-    python -m repro.fault.sweep sweep.json --workers 8 --results-dir out/
-
-(``python -m repro.fault.runner`` recognises sweep specs too and delegates
-here.)  Every expanded campaign checkpoints its trials to
-``<results-dir>/NNN-<label>.jsonl``.
+The ``python -m repro.fault.sweep`` command line survives as a forwarding
+shim around ``python -m repro sweep`` (see :mod:`repro.exec.cli`).  Every
+expanded campaign checkpoints its trials to ``<results-dir>/NNN-<label>.jsonl``.
 """
 
 from __future__ import annotations
 
 import argparse
-import itertools
 import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
-from repro.fault.runner import CampaignRunner, CampaignSpec, _canonical_json
+from repro.fault.runner import CampaignSpec, _canonical_json
+
+__all__ = [
+    "SweepEntry",
+    "SweepResult",
+    "SweepSpec",
+    "campaign_results_path",
+    "is_sweep_dict",
+    "run_sweep",
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -103,30 +107,30 @@ class SweepSpec:
         return sorted(self.grid)
 
     # ------------------------------------------------------------------ #
+    def to_experiment(self):
+        """The unified :class:`~repro.exec.spec.ExperimentSpec` form."""
+        from repro.exec.spec import ExperimentSpec
+
+        return ExperimentSpec.from_sweep(self)
+
     def points(self) -> list[dict]:
         """The grid points, in deterministic expansion order."""
-        axes = self.axes
-        if not axes:
-            return [{}]
-        return [
-            dict(zip(axes, combo))
-            for combo in itertools.product(*(list(self.grid[a]) for a in axes))
-        ]
+        return self.to_experiment().points()
 
     def expanded(self) -> list[tuple[dict, CampaignSpec]]:
         """``(grid point, campaign spec)`` pairs, in expansion order."""
-        pairs = []
-        for point in self.points():
-            tag = ",".join(f"{axis}={point[axis]}" for axis in self.axes)
+        if not self.grid:
+            # Preserve the historical single-point naming: the lone campaign
+            # inherits the sweep's display label.
             spec = CampaignSpec(
                 campaign=self.campaign,
                 n_trials=self.n_trials,
                 seed=self.seed,
-                params={**self.base_params, **point},
-                name=f"{self.label}/{tag}" if tag else self.label,
+                params=json.loads(json.dumps(self.base_params)),
+                name=self.label,
             )
-            pairs.append((point, spec))
-        return pairs
+            return [({}, spec)]
+        return self.to_experiment().expanded()
 
     def expand(self) -> list[CampaignSpec]:
         """One :class:`CampaignSpec` per grid point, in expansion order."""
@@ -175,8 +179,15 @@ def is_sweep_dict(data: dict) -> bool:
     return isinstance(data, dict) and "grid" in data
 
 
+def campaign_results_path(results_dir: str | Path, index: int, spec: CampaignSpec) -> Path:
+    """Checkpoint file of one expanded campaign inside the sweep directory."""
+    from repro.exec.checkpoint import campaign_results_path as _impl
+
+    return _impl(results_dir, index, spec)
+
+
 # --------------------------------------------------------------------------- #
-# Execution
+# Execution (delegating to the unified engine)
 # --------------------------------------------------------------------------- #
 @dataclass
 class SweepEntry:
@@ -205,53 +216,71 @@ class SweepResult:
         }
 
 
-def campaign_results_path(results_dir: str | Path, index: int, spec: CampaignSpec) -> Path:
-    """Checkpoint file of one expanded campaign inside the sweep directory."""
-    slug = "".join(c if c.isalnum() or c in "=,._-" else "_" for c in spec.label)
-    return Path(results_dir) / f"{index:03d}-{slug}.jsonl"
-
-
 def run_sweep(
     sweep: SweepSpec,
     n_workers: int = 1,
     results_dir: str | Path | None = None,
+    executor: str | None = None,
 ) -> SweepResult:
     """Expand and run (or resume) every campaign of a sweep.
 
-    With ``results_dir`` every expanded campaign checkpoints its trials to its
-    own JSONL file; campaigns whose file is already complete are not re-run
+    A thin wrapper over :func:`repro.exec.engine.run_experiment`: grid points
+    share one executor backend (``serial`` in-process by default, the shared
+    ``process`` pool when ``n_workers > 1``, or any registered backend named
+    via ``executor``), so sweeps parallelise at the sweep level.  With
+    ``results_dir`` every expanded campaign checkpoints its trials to its own
+    JSONL file; campaigns whose file is already complete are not re-run
     (their records are loaded and re-aggregated), so a killed sweep resumes
-    from the first unfinished campaign.
+    from the first unfinished trial.
     """
     if results_dir is not None and Path(results_dir).is_file():
         raise ValueError(
             f"results_dir {results_dir} is a file; a sweep checkpoints into a "
             "directory of per-campaign JSONL files"
         )
-    result = SweepResult(sweep=sweep)
-    for index, (point, spec) in enumerate(sweep.expanded()):
+    from repro.exec.engine import run_experiment
+    from repro.exec.spec import ExperimentSpec
+
+    chosen = executor or ("serial" if n_workers == 1 else "process")
+    if not sweep.grid:
+        # A gridless sweep is a single campaign to the engine, but its
+        # checkpoint must still live *inside* the directory (000-<label>),
+        # like every other grid point.
+        point, spec = sweep.expanded()[0]
         path = (
-            campaign_results_path(results_dir, index, spec)
+            campaign_results_path(results_dir, 0, spec)
             if results_dir is not None
             else None
         )
-        runner = CampaignRunner(spec, n_workers=n_workers, results_path=path)
-        result.entries.append(SweepEntry(point=point, spec=spec, result=runner.run()))
-    return result
+        result = run_experiment(
+            ExperimentSpec.from_campaign(spec),
+            executor=chosen,
+            n_workers=n_workers,
+            results_path=path,
+        )
+        entry = SweepEntry(point=point, spec=spec, result=result.points[0].result)
+        return SweepResult(sweep=sweep, entries=[entry])
+    result = run_experiment(
+        sweep.to_experiment(),
+        executor=chosen,
+        n_workers=n_workers,
+        results_path=results_dir,
+    )
+    return result.to_sweep_result()
 
 
 # --------------------------------------------------------------------------- #
-# Command-line interface
+# Command-line interface (forwarding shim)
 # --------------------------------------------------------------------------- #
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.analysis.reporting import format_sweep_result
-
+    """Forwarding shim: ``python -m repro.fault.sweep`` -> ``python -m repro sweep``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.fault.sweep",
-        description="Expand and run a cross-campaign sweep grid from a JSON spec file.",
+        description="[deprecated: use `python -m repro sweep`] Expand and run "
+        "a cross-campaign sweep grid from a JSON spec file.",
     )
     parser.add_argument("spec", help="path to a SweepSpec JSON file")
-    parser.add_argument("--workers", type=int, default=1, help="worker processes per campaign")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
     parser.add_argument(
         "--results-dir",
         default=None,
@@ -264,19 +293,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.results_dir is not None and Path(args.results_dir).is_file():
-        parser.error(
-            f"--results-dir {args.results_dir} is a file, but a sweep "
-            "checkpoints into a directory of per-campaign JSONL files"
-        )
+    from repro.exec import cli
+
+    cli.deprecation_note("python -m repro.fault.sweep", "python -m repro sweep")
     sweep = SweepSpec.from_json(Path(args.spec).read_text())
-    if args.expand_only:
-        for spec in sweep.expand():
-            print(spec.to_json())
+    if not sweep.grid:
+        # The umbrella `sweep` command insists on a non-empty grid; the
+        # legacy CLI accepted gridless sweep specs, so keep that working.
+        if args.expand_only:
+            for spec in sweep.expand():
+                print(spec.to_json())
+            return 0
+        from repro.analysis.reporting import format_sweep_result
+
+        result = run_sweep(sweep, n_workers=args.workers, results_dir=args.results_dir)
+        print(format_sweep_result(result))
         return 0
-    result = run_sweep(sweep, n_workers=args.workers, results_dir=args.results_dir)
-    print(format_sweep_result(result))
-    return 0
+    forwarded = ["sweep", args.spec, "--workers", str(args.workers)]
+    if args.workers > 1:
+        # The legacy sweep pooled workers whenever --workers > 1; the new
+        # CLI defaults to the serial backend, so forward that choice too.
+        forwarded += ["--executor", "process"]
+    if args.results_dir is not None:
+        forwarded += ["--results", args.results_dir]
+    if args.expand_only:
+        forwarded.append("--expand-only")
+    return cli.main(forwarded)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,306 @@
+"""Tests for the umbrella CLI and the legacy forwarding shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.cli import main
+from repro.exec.spec import ExperimentSpec
+
+CAMPAIGN = ExperimentSpec(
+    campaign="abft_error_coverage",
+    n_trials=6,
+    seed=7,
+    params={"bit_error_rate": 1e-7, "scheme": "tensor", "rows": 32, "cols": 32},
+)
+
+SWEEP = ExperimentSpec(
+    campaign="abft_error_coverage",
+    n_trials=4,
+    seed=7,
+    params={"rows": 32, "cols": 32},
+    grid={"scheme": ["tensor", "element"], "bit_error_rate": [1e-8, 1e-7]},
+    name="cli-sweep",
+)
+
+THRESHOLD = ExperimentSpec(
+    campaign="abft_detection_sweep",
+    n_trials=6,
+    seed=3,
+    params={"thresholds": [0.01, 0.3], "rows": 32, "cols": 32, "depth": 32},
+)
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(CAMPAIGN.to_json())
+    return path
+
+
+@pytest.fixture
+def sweep_file(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(SWEEP.to_json())
+    return path
+
+
+class TestRun:
+    def test_runs_campaign_and_reports(self, campaign_file, tmp_path, capsys):
+        results = tmp_path / "out.jsonl"
+        assert main(["run", str(campaign_file), "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: abft_error_coverage (6 trials)" in out
+        assert "detection rate" in out
+        assert results.exists()
+
+    def test_runs_sweep_with_grid_table(self, sweep_file, capsys):
+        assert main(["run", str(sweep_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: cli-sweep (4 campaigns x 4 trials)" in out
+        assert out.splitlines()[1].split()[:2] == ["bit_error_rate", "scheme"]
+
+    def test_threshold_campaign_renders_series(self, tmp_path, capsys):
+        spec_file = tmp_path / "threshold.json"
+        spec_file.write_text(THRESHOLD.to_json())
+        assert main(["run", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fault detection rate" in out
+        assert "false alarm rate" in out
+
+    @pytest.mark.parametrize("executor", ["process", "async"])
+    def test_parallel_backends_byte_identical_to_serial(
+        self, sweep_file, tmp_path, executor, capsys
+    ):
+        serial_dir = tmp_path / "serial"
+        other_dir = tmp_path / executor
+        assert main(["run", str(sweep_file), "--results", str(serial_dir)]) == 0
+        assert (
+            main(
+                [
+                    "run",
+                    str(sweep_file),
+                    "--executor",
+                    executor,
+                    "--workers",
+                    "3",
+                    "--results",
+                    str(other_dir),
+                ]
+            )
+            == 0
+        )
+        for path in sorted(serial_dir.iterdir()):
+            assert (other_dir / path.name).read_bytes() == path.read_bytes()
+
+    def test_missing_spec_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_unknown_executor_errors(self, campaign_file):
+        with pytest.raises(ValueError, match="unknown executor"):
+            main(["run", str(campaign_file), "--executor", "quantum"])
+
+    def test_sweep_results_path_file_rejected(self, sweep_file, tmp_path):
+        blocker = tmp_path / "blocker.jsonl"
+        blocker.write_text("")
+        with pytest.raises(SystemExit):
+            main(["run", str(sweep_file), "--results", str(blocker)])
+
+
+class TestSweepCommand:
+    def test_requires_grid(self, campaign_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(campaign_file)])
+
+    def test_expand_only_prints_campaigns(self, sweep_file, capsys):
+        assert main(["sweep", str(sweep_file), "--expand-only"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        specs = [json.loads(line) for line in lines]
+        assert {s["params"]["scheme"] for s in specs} == {"tensor", "element"}
+
+    def test_runs_grid(self, sweep_file, capsys):
+        assert main(["sweep", str(sweep_file)]) == 0
+        assert "sweep: cli-sweep" in capsys.readouterr().out
+
+
+class TestListCampaigns:
+    def test_lists_sorted_names_with_summaries(self, capsys):
+        assert main(["list-campaigns"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        assert "abft_error_coverage" in names
+        assert "attention_cost" in names
+        by_name = {line.split()[0]: line for line in lines}
+        # The one-line docstring summary rides next to the kernel name.
+        assert "burst fault events" in by_name["abft_error_coverage"]
+        assert "Transformer forward pass" in by_name["transformer_inference"]
+
+
+class TestReport:
+    def test_reports_campaign_file(self, campaign_file, tmp_path, capsys):
+        results = tmp_path / "out.jsonl"
+        main(["run", str(campaign_file), "--results", str(results)])
+        capsys.readouterr()
+        assert main(["report", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: abft_error_coverage (6 trials)" in out
+        assert "detection rate" in out
+
+    def test_reports_sweep_directory_via_manifest(self, sweep_file, tmp_path, capsys):
+        results = tmp_path / "out"
+        main(["run", str(sweep_file), "--results", str(results)])
+        first = capsys.readouterr().out
+        assert main(["report", str(results)]) == 0
+        assert capsys.readouterr().out.strip() == first.strip()
+
+    def test_reports_directory_without_manifest(self, sweep_file, tmp_path, capsys):
+        from repro.exec.engine import MANIFEST_NAME
+
+        results = tmp_path / "out"
+        main(["run", str(sweep_file), "--results", str(results)])
+        capsys.readouterr()
+        (results / MANIFEST_NAME).unlink()
+        assert main(["report", str(results)]) == 0
+        out = capsys.readouterr().out
+        # Falls back to one per-campaign block per JSONL file.
+        assert out.count("campaign: cli-sweep/") == 4
+
+    def test_incomplete_file_rejected(self, campaign_file, tmp_path, capsys):
+        results = tmp_path / "out.jsonl"
+        main(["run", str(campaign_file), "--results", str(results)])
+        capsys.readouterr()
+        truncated = "\n".join(results.read_text().splitlines()[:3]) + "\n"
+        results.write_text(truncated)
+        with pytest.raises(SystemExit):
+            main(["report", str(results)])
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "ghost.jsonl")])
+
+    def test_campaign_named_experiment_not_misdetected(self, tmp_path, capsys):
+        """Header detection must parse JSON, not substring-match 'experiment'."""
+        spec = ExperimentSpec.from_dict({**CAMPAIGN.to_dict(), "name": "experiment"})
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+        results = tmp_path / "out.jsonl"
+        main(["run", str(spec_file), "--results", str(results)])
+        capsys.readouterr()
+        assert main(["report", str(results)]) == 0
+        assert "campaign: experiment (6 trials)" in capsys.readouterr().out
+
+    def test_reports_experiment_stream_file(self, tmp_path, capsys):
+        from repro.exec.engine import run_experiment
+
+        stream = tmp_path / "stream.jsonl"
+        stream.write_text(run_experiment(SWEEP).to_jsonl())
+        assert main(["report", str(stream)]) == 0
+        assert "sweep: cli-sweep" in capsys.readouterr().out
+
+
+class TestLegacyForwarding:
+    def test_runner_cli_forwards_worker_pool(self, campaign_file, monkeypatch):
+        """--workers N > 1 must select the pooled backend, like the old runner."""
+        from repro.exec import cli as cli_module
+        from repro.fault.runner import main as runner_main
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        monkeypatch.setattr(cli_module, "main", fake_main)
+        runner_main([str(campaign_file), "--workers", "4"])
+        assert "--executor" in captured["argv"]
+        assert captured["argv"][captured["argv"].index("--executor") + 1] == "process"
+
+        runner_main([str(campaign_file), "--workers", "1"])
+        assert "--executor" not in captured["argv"]
+
+    def test_sweep_cli_forwards_worker_pool(self, sweep_file, monkeypatch):
+        from repro.exec import cli as cli_module
+        from repro.fault.sweep import main as sweep_main
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        monkeypatch.setattr(cli_module, "main", fake_main)
+        sweep_main([str(sweep_file), "--workers", "3"])
+        assert captured["argv"][captured["argv"].index("--executor") + 1] == "process"
+
+    def test_runner_cli_keeps_gridless_sweep_directory_semantics(self, tmp_path, capsys):
+        """A "grid": {} spec used sweep (directory) checkpoints pre-redesign."""
+        from repro.fault.runner import main as runner_main
+        from repro.fault.sweep import SweepSpec
+
+        gridless = SweepSpec(
+            campaign="abft_error_coverage",
+            n_trials=2,
+            seed=7,
+            base_params={"bit_error_rate": 1e-7, "scheme": "tensor", "rows": 32, "cols": 32},
+            name="runner-gridless",
+        )
+        spec_file = tmp_path / "gridless.json"
+        spec_file.write_text(gridless.to_json())
+        results = tmp_path / "out"
+        results.mkdir()  # a pre-existing (old-run) directory must be accepted
+        assert runner_main([str(spec_file), "--results", str(results)]) == 0
+        assert "sweep: runner-gridless" in capsys.readouterr().out
+        assert (results / "000-runner-gridless.jsonl").exists()
+        # And it resumes: a second invocation re-reads the same directory.
+        assert runner_main([str(spec_file), "--results", str(results)]) == 0
+
+    def test_sweep_cli_accepts_gridless_spec(self, tmp_path, capsys):
+        """The legacy sweep CLI ran empty-grid specs; the shim must too."""
+        from repro.fault.sweep import SweepSpec
+        from repro.fault.sweep import main as sweep_main
+
+        gridless = SweepSpec(
+            campaign="abft_error_coverage",
+            n_trials=2,
+            seed=7,
+            base_params={"bit_error_rate": 1e-7, "scheme": "tensor", "rows": 32, "cols": 32},
+            name="gridless",
+        )
+        spec_file = tmp_path / "gridless.json"
+        spec_file.write_text(gridless.to_json())
+        results = tmp_path / "out"
+        assert sweep_main([str(spec_file), "--results-dir", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: gridless" in out
+        assert (results / "000-gridless.jsonl").exists()
+
+    def test_runner_cli_forwards_with_notice(self, campaign_file, capsys):
+        from repro.fault.runner import main as runner_main
+
+        assert runner_main([str(campaign_file)]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "python -m repro run" in captured.err
+        assert "campaign: abft_error_coverage (6 trials)" in captured.out
+
+    def test_runner_cli_list_campaigns_has_summaries(self, capsys):
+        from repro.fault.runner import main as runner_main
+
+        assert runner_main(["--list-campaigns"]) == 0
+        captured = capsys.readouterr()
+        assert "burst fault events" in captured.out
+
+    def test_sweep_cli_forwards_with_notice(self, sweep_file, tmp_path, capsys):
+        from repro.fault.sweep import main as sweep_main
+
+        results = tmp_path / "dir"
+        assert sweep_main([str(sweep_file), "--results-dir", str(results)]) == 0
+        captured = capsys.readouterr()
+        assert "python -m repro sweep" in captured.err
+        assert "sweep: cli-sweep" in captured.out
+        assert results.is_dir()

@@ -1,0 +1,201 @@
+"""Tests for the executor backends: registry, determinism, resume, engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.engine import MANIFEST_NAME, ExperimentRunner, run_experiment
+from repro.exec.executors import (
+    Executor,
+    SerialExecutor,
+    TrialSlice,
+    available_executors,
+    build_executor,
+    get_executor,
+    register_executor,
+)
+from repro.exec.spec import ExperimentSpec
+
+#: A real (importable) campaign so fork/spawn workers can run it: 4 grid
+#: points, enough trials to split into several batches.
+SWEEP = ExperimentSpec(
+    campaign="abft_error_coverage",
+    n_trials=6,
+    seed=7,
+    params={"rows": 32, "cols": 32, "depth": 32},
+    grid={"scheme": ["tensor", "element"], "bit_error_rate": [1e-8, 1e-7]},
+    name="executor-test",
+)
+
+CAMPAIGN = ExperimentSpec(
+    campaign="abft_error_coverage",
+    n_trials=8,
+    seed=3,
+    params={"bit_error_rate": 1e-7, "scheme": "tensor", "rows": 32, "cols": 32},
+)
+
+
+@pytest.fixture(autouse=True)
+def _executor_registry_snapshot():
+    """Undo test-local register_executor calls so reruns in one process pass."""
+    from repro.exec import executors as executors_module
+
+    saved = dict(executors_module._EXECUTORS)
+    yield
+    executors_module._EXECUTORS.clear()
+    executors_module._EXECUTORS.update(saved)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "process", "async"} <= set(available_executors())
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_executor("serial")
+            class Clash(Executor):  # pragma: no cover - never instantiated
+                def execute(self, slices):
+                    return iter(())
+
+    def test_non_executor_rejected(self):
+        with pytest.raises(TypeError, match="subclass"):
+            register_executor("not_an_executor")(dict)
+
+    def test_custom_backend_plugs_in(self):
+        @register_executor("test_reversed")
+        class ReversedExecutor(SerialExecutor):
+            """Serial, but slices in reverse order (order must not matter)."""
+
+            def execute(self, slices):
+                yield from super().execute(list(reversed(slices)))
+
+        result = run_experiment(SWEEP, executor="test_reversed")
+        reference = run_experiment(SWEEP, executor="serial")
+        for a, b in zip(result.points, reference.points):
+            assert a.result.outcomes == b.result.outcomes
+        assert result.executor == "test_reversed"
+
+    def test_build_executor_accepts_instance(self):
+        instance = SerialExecutor()
+        assert build_executor(instance) is instance
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(n_workers=0)
+
+
+class TestCrossExecutorDeterminism:
+    """Regression: trial records are bit-identical across every backend."""
+
+    @pytest.mark.parametrize("executor", ["process", "async"])
+    def test_backend_matches_serial_records(self, executor):
+        serial = run_experiment(SWEEP, executor="serial")
+        other = run_experiment(SWEEP, executor=executor, n_workers=4)
+        for a, b in zip(serial.points, other.points):
+            assert a.records.records == b.records.records
+            assert a.result.outcomes == b.result.outcomes
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "async"])
+    def test_checkpoint_bytes_identical_across_backends(self, tmp_path, executor):
+        reference = tmp_path / "serial"
+        run_experiment(SWEEP, executor="serial", results_path=reference)
+        candidate = tmp_path / executor
+        run_experiment(SWEEP, executor=executor, n_workers=3, results_path=candidate)
+        ref_files = sorted(p.name for p in reference.iterdir())
+        assert ref_files == sorted(p.name for p in candidate.iterdir())
+        for name in ref_files:
+            assert (candidate / name).read_bytes() == (reference / name).read_bytes()
+
+    @pytest.mark.parametrize("executor", ["process", "async"])
+    def test_single_campaign_matches_serial(self, executor):
+        serial = run_experiment(CAMPAIGN, executor="serial")
+        other = run_experiment(CAMPAIGN, executor=executor, n_workers=4)
+        assert serial.result.outcomes == other.result.outcomes
+
+
+class TestResume:
+    def test_sweep_resumes_under_shared_pool(self, tmp_path):
+        reference = run_experiment(SWEEP, executor="serial")
+
+        # Run only the first grid point to completion, then resume the whole
+        # sweep on the shared pool: completed work is loaded, not re-run.
+        partial_dir = tmp_path / "resume"
+        first = ExperimentSpec.from_campaign(SWEEP.expand()[0])
+        from repro.exec.checkpoint import campaign_results_path
+
+        run_experiment(
+            first,
+            results_path=campaign_results_path(partial_dir, 0, SWEEP.expand()[0]),
+        )
+        resumed = run_experiment(
+            SWEEP, executor="process", n_workers=3, results_path=partial_dir
+        )
+        for a, b in zip(reference.points, resumed.points):
+            assert a.result.outcomes == b.result.outcomes
+
+    def test_torn_trailing_line_recovered(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        reference = run_experiment(CAMPAIGN, results_path=path)
+        torn = "\n".join(path.read_text().splitlines()[:4]) + '\n{"trial": 7, "rec'
+        path.write_text(torn)
+        resumed = run_experiment(CAMPAIGN, executor="async", n_workers=2, results_path=path)
+        assert resumed.result.outcomes == reference.result.outcomes
+
+    def test_manifest_written_and_checked(self, tmp_path):
+        run_experiment(SWEEP, results_path=tmp_path)
+        manifest = tmp_path / MANIFEST_NAME
+        assert manifest.exists()
+        assert ExperimentSpec.from_json(manifest.read_text()) == SWEEP
+
+        renamed = ExperimentSpec.from_dict({**SWEEP.to_dict(), "name": "other-label"})
+        run_experiment(renamed, results_path=tmp_path)  # cosmetic rename is fine
+
+        different = ExperimentSpec.from_dict({**SWEEP.to_dict(), "seed": 99})
+        with pytest.raises(ValueError, match="different experiment"):
+            run_experiment(different, results_path=tmp_path)
+
+
+class TestSinkLifecycle:
+    def test_serial_run_keeps_at_most_one_sink_open(self, tmp_path, monkeypatch):
+        """Sinks open lazily and close per completed point: FDs stay bounded."""
+        from repro.exec.checkpoint import TrialCheckpoint
+
+        open_now = {"count": 0, "peak": 0}
+        real_open, real_close = TrialCheckpoint.open, TrialCheckpoint.close
+
+        def tracking_open(self, header):
+            open_now["count"] += 1
+            open_now["peak"] = max(open_now["peak"], open_now["count"])
+            return real_open(self, header)
+
+        def tracking_close(self):
+            if self._sink is not None:
+                open_now["count"] -= 1
+            return real_close(self)
+
+        monkeypatch.setattr(TrialCheckpoint, "open", tracking_open)
+        monkeypatch.setattr(TrialCheckpoint, "close", tracking_close)
+        run_experiment(SWEEP, executor="serial", results_path=tmp_path / "out")
+        assert open_now["peak"] == 1
+        assert open_now["count"] == 0
+
+
+class TestEngineValidation:
+    def test_sweep_results_path_must_not_be_file(self, tmp_path):
+        file_path = tmp_path / "x.jsonl"
+        file_path.write_text("")
+        with pytest.raises(ValueError, match="file"):
+            ExperimentRunner(SWEEP, results_path=file_path)
+
+    def test_campaign_results_path_must_not_be_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="directory"):
+            ExperimentRunner(CAMPAIGN, results_path=tmp_path)
+
+    def test_trial_slice_normalises_indices(self):
+        piece = TrialSlice(0, {}, [0, 1, 2])
+        assert piece.indices == (0, 1, 2)

@@ -168,3 +168,34 @@ class TestTransformerInferenceCampaign:
 
         result = run_campaign(self._spec(model="T5-Small"))
         assert result.n_trials == 6
+
+
+class TestSiteResilienceDefaults:
+    """Per-site bits/dtype defaults must not change legacy spec semantics."""
+
+    def _run(self, params):
+        from repro.fault.runner import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(campaign="efta_site_resilience", n_trials=6, seed=1, params=params)
+        return run_campaign(spec)
+
+    def test_explicit_bits_keep_legacy_fp16_default(self):
+        # Pre-redesign specs pinned fp16-range bits without a dtype; they must
+        # still be interpreted as fp16 (as fp32 these are low mantissa bits
+        # and detection collapses to ~0).
+        legacy = self._run({"site": "gemm_pv", "bits": [8, 10, 12, 13, 14, 15],
+                            "seq_len": 96, "head_dim": 32, "block_size": 32})
+        explicit = self._run({"site": "gemm_pv", "bits": [8, 10, 12, 13, 14, 15],
+                              "dtype": "fp16",
+                              "seq_len": 96, "head_dim": 32, "block_size": 32})
+        assert legacy.outcomes == explicit.outcomes
+        assert legacy.detection_rate >= 0.5
+
+    def test_bare_site_defaults_per_site(self):
+        # Grid-friendly: site alone picks a sensible representation.
+        bare = self._run({"site": "gemm_qk", "seq_len": 96, "head_dim": 32,
+                          "block_size": 32})
+        fp16 = self._run({"site": "gemm_qk", "bits": [8, 10, 12, 13, 14, 15],
+                          "dtype": "fp16", "seq_len": 96, "head_dim": 32,
+                          "block_size": 32})
+        assert bare.outcomes == fp16.outcomes

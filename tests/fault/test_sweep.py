@@ -82,6 +82,13 @@ class TestExpansion:
         assert sweep.points() == [{}]
         assert len(sweep.expand()) == 1
 
+    def test_empty_grid_runs_and_checkpoints_inside_directory(self, tmp_path):
+        sweep = SweepSpec(campaign="_sweep_probe", n_trials=2, name="lone")
+        result = run_sweep(sweep, results_dir=tmp_path)
+        assert len(result.entries) == 1
+        assert result.entries[0].result.n_trials == 2
+        assert (tmp_path / "000-lone.jsonl").exists()
+
     def test_invalid_specs_rejected(self):
         with pytest.raises(ValueError):
             SweepSpec(campaign="", n_trials=1)
