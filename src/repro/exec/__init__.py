@@ -8,10 +8,15 @@ Tables 1-2):
   campaigns and cross-campaign sweep grids (auto-detected on load); the
   legacy ``CampaignSpec``/``SweepSpec`` remain as thin wrappers over it.
 * :class:`Executor` -- the pluggable execution-strategy interface with
-  ``serial``, ``process`` (one pool shared across all grid points) and
-  ``async`` (concurrent-futures shard dispatch) backends, all bit-identical
-  for any backend/worker count; new backends register with
-  :func:`register_executor`.
+  ``serial``, ``process`` (one pool shared across all grid points), ``async``
+  (concurrent-futures shard dispatch) and ``distributed`` (socket/queue
+  dispatch to local or remote ``python -m repro worker`` processes, with
+  lease-based fault recovery) backends, all bit-identical for any
+  backend/worker count; new backends register with :func:`register_executor`.
+* :class:`ProgressTracker` / :class:`ProgressEvent` -- executor-level
+  progress: every backend's finished trials stream through the engine, which
+  emits trials-done/ETA events to listeners such as the CI-log-safe
+  :class:`ProgressPrinter` (the ``--progress`` CLI flag).
 * :class:`TrialRecordSet` / :class:`ExperimentResult` -- the typed result
   surface: ``summary()`` protocol, canonical ``to_jsonl``/``from_jsonl``,
   shard ``merge``.
@@ -25,7 +30,8 @@ Importing the package also registers the deterministic roofline-cost kernels
 """
 
 from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
-from repro.exec.engine import ExperimentRunner, run_experiment
+from repro.exec.distributed import DistributedExecutor, run_worker
+from repro.exec.engine import ExperimentRunner, read_manifest, run_experiment
 from repro.exec.executors import (
     AsyncExecutor,
     Executor,
@@ -36,6 +42,11 @@ from repro.exec.executors import (
     build_executor,
     get_executor,
     register_executor,
+)
+from repro.exec.progress import (
+    ProgressEvent,
+    ProgressPrinter,
+    ProgressTracker,
 )
 from repro.exec.results import (
     ExperimentResult,
@@ -53,12 +64,16 @@ import repro.exec.costing  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
     "AsyncExecutor",
+    "DistributedExecutor",
     "Executor",
     "ExperimentResult",
     "ExperimentRunner",
     "ExperimentSpec",
     "PointResult",
     "ProcessExecutor",
+    "ProgressEvent",
+    "ProgressPrinter",
+    "ProgressTracker",
     "RecordSummary",
     "SerialExecutor",
     "SummaryProtocol",
@@ -70,7 +85,9 @@ __all__ = [
     "campaign_results_path",
     "get_executor",
     "load_spec",
+    "read_manifest",
     "register_executor",
     "run_experiment",
+    "run_worker",
     "single_record_aggregate",
 ]

@@ -2,18 +2,23 @@
 
 ::
 
-    python -m repro run spec.json [--executor serial|process|async]
-                                  [--workers N] [--results PATH]
+    python -m repro run spec.json [--executor serial|process|async|distributed]
+                                  [--workers N] [--results PATH] [--progress]
     python -m repro sweep spec.json [--expand-only] [...]
+    python -m repro worker --connect HOST:PORT [--authkey KEY]
     python -m repro list-campaigns
     python -m repro report PATH [PATH ...]
 
 ``run`` auto-detects campaign vs. sweep specs (a ``grid`` key marks a sweep)
-and executes through any registered backend; ``sweep`` is the same engine but
-insists on a grid and can print the expanded campaigns; ``list-campaigns``
-shows every registered trial kernel with its one-line summary; ``report``
-re-renders finished JSONL results (a campaign file, an experiment stream, or
-a sweep results directory) without re-running anything.
+and executes through any registered backend; ``--progress`` streams
+plain-text heartbeat lines (trials done, throughput, ETA) from every backend.
+``sweep`` is the same engine but insists on a grid and can print the expanded
+campaigns; ``worker`` joins a ``--executor distributed`` coordinator and
+pulls trial batches until the run ends; ``list-campaigns`` shows every
+registered trial kernel with its one-line summary; ``report`` re-renders
+finished JSONL results (a campaign file, an experiment stream, or a sweep
+results directory) without re-running anything -- for an interrupted run it
+prints the completion state instead and exits 1.
 
 The legacy ``python -m repro.fault.runner`` / ``python -m repro.fault.sweep``
 entry points forward here with deprecation notices.
@@ -28,7 +33,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.exec.checkpoint import campaign_results_path
-from repro.exec.engine import MANIFEST_NAME, run_experiment
+from repro.exec.engine import MANIFEST_NAME, read_manifest, run_experiment
 from repro.exec.executors import available_executors
 from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
 from repro.exec.spec import ExperimentSpec
@@ -42,6 +47,20 @@ def deprecation_note(old: str, new: str) -> None:
 # --------------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------------- #
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"{text} is negative")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"{text} is not positive")
+    return value
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("spec", help="path to an experiment spec JSON file")
     parser.add_argument(
@@ -59,6 +78,67 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="checkpoint path enabling resume: a JSONL file for a campaign "
         "spec, a directory of per-point JSONL files for a sweep spec",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream plain-text heartbeat lines (trials done, throughput, "
+        "ETA) to stderr; safe for CI logs",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=_nonnegative_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="minimum seconds between heartbeat lines (default: 5)",
+    )
+    distributed = parser.add_argument_group(
+        "distributed executor", "options used only with --executor distributed"
+    )
+    distributed.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="coordinator bind address (default: 127.0.0.1 on an ephemeral "
+        "port, printed at startup); bind a routable host so `python -m "
+        "repro worker` processes on other machines can join",
+    )
+    distributed.add_argument(
+        "--authkey",
+        default=None,
+        help="shared secret of the coordinator/worker connection",
+    )
+    distributed.add_argument(
+        "--no-spawn-workers",
+        action="store_true",
+        help="do not spawn local worker subprocesses; rely entirely on "
+        "externally-started `python -m repro worker` processes",
+    )
+    distributed.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds a claimed batch may stay silent before it is "
+        "re-enqueued for another worker (default: 30)",
+    )
+    distributed.add_argument(
+        "--stall-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="fail the run if no batch completes for this many seconds "
+        "(hung-worker guard; default: off)",
+    )
+    distributed.add_argument(
+        "--worker-import",
+        dest="worker_imports",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="module (dotted name or .py path) each spawned worker imports "
+        "before pulling work, for trial kernels registered outside repro; "
+        "repeatable",
     )
 
 
@@ -87,19 +167,114 @@ def _load_spec(parser: argparse.ArgumentParser, path: str) -> ExperimentSpec:
         parser.error(f"invalid spec file {path}: {exc}")
 
 
+def _build_cli_executor(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """The backend for ``run``: a name, or a configured distributed instance."""
+    if args.executor != "distributed":
+        for flag, value in [
+            ("--bind", args.bind),
+            ("--authkey", args.authkey),
+            ("--lease-timeout", args.lease_timeout),
+            ("--stall-timeout", args.stall_timeout),
+        ]:
+            if value is not None:
+                parser.error(f"{flag} requires --executor distributed")
+        if args.no_spawn_workers:
+            parser.error("--no-spawn-workers requires --executor distributed")
+        if args.worker_imports:
+            parser.error("--worker-import requires --executor distributed")
+        return args.executor
+    from repro.exec.distributed import (
+        DEFAULT_LEASE_TIMEOUT,
+        DistributedExecutor,
+        import_worker_module,
+        parse_address,
+    )
+
+    try:
+        host, port = parse_address(args.bind if args.bind is not None else "127.0.0.1:0")
+    except ValueError as exc:
+        parser.error(f"invalid --bind: {exc}")
+    for module in args.worker_imports:
+        # The coordinator aggregates the records, so it needs the out-of-tree
+        # kernels registered too, not just the workers.
+        try:
+            import_worker_module(module)
+        except ImportError as exc:
+            parser.error(f"cannot import --worker-import {module!r}: {exc}")
+    return DistributedExecutor(
+        n_workers=args.workers,
+        host=host,
+        port=port,
+        authkey=args.authkey,  # None generates a random per-run token
+        spawn_workers=not args.no_spawn_workers,
+        lease_timeout=(
+            args.lease_timeout
+            if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT
+        ),
+        stall_timeout=args.stall_timeout,
+        worker_imports=args.worker_imports,
+        announce=True,
+    )
+
+
+def _progress_listeners(args: argparse.Namespace):
+    if not args.progress:
+        return None
+    from repro.exec.progress import ProgressPrinter
+
+    return [ProgressPrinter(interval=args.progress_interval)]
+
+
 def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     spec = _load_spec(parser, args.spec)
     _check_results_path(parser, spec, args.results)
     result = run_experiment(
         spec,
-        executor=args.executor,
+        executor=_build_cli_executor(parser, args),
         n_workers=args.workers,
         results_path=args.results,
+        progress=_progress_listeners(args),
     )
     from repro.analysis.reporting import format_experiment_result
 
     print(format_experiment_result(result))
     return 0
+
+
+def cmd_worker(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    import os
+    from multiprocessing import AuthenticationError
+
+    from repro.exec.distributed import AUTHKEY_ENV, parse_address, run_worker
+
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        parser.error(f"invalid --connect: {exc}")
+    authkey = args.authkey if args.authkey is not None else os.environ.get(AUTHKEY_ENV)
+    if authkey is None:
+        parser.error(
+            f"no shared secret: pass --authkey or set {AUTHKEY_ENV} "
+            "(the coordinator prints the per-run token at startup)"
+        )
+    try:
+        return run_worker(
+            address,
+            authkey=authkey,
+            max_tasks=args.max_tasks,
+            imports=args.imports,
+        )
+    except AuthenticationError:
+        print(
+            f"error: coordinator at {args.connect} rejected the connection: "
+            "--authkey does not match the coordinator's",
+            file=sys.stderr,
+        )
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach coordinator at {args.connect}: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -128,39 +303,76 @@ def cmd_list_campaigns(parser: argparse.ArgumentParser, args: argparse.Namespace
 
 def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     blocks = []
+    all_complete = True
     for raw in args.results:
         path = Path(raw)
         if not path.exists():
             parser.error(f"results path {raw} does not exist")
         if path.is_dir():
-            blocks.extend(_report_directory(parser, path))
+            rendered = _report_directory(parser, path)
         else:
-            blocks.append(_report_file(parser, path))
+            rendered = [_report_file(parser, path)]
+        blocks.extend(text for text, _ in rendered)
+        all_complete = all_complete and all(complete for _, complete in rendered)
     print("\n\n".join(blocks))
-    return 0
+    # Exit 1 on a partial run so scripts can gate on completion, after the
+    # state has been shown (resume with the same spec + --results to finish).
+    return 0 if all_complete else 1
 
 
-def _report_file(parser: argparse.ArgumentParser, path: Path) -> str:
-    """Render one results file: a campaign checkpoint or an experiment stream."""
+def _completion_line(label: str, done: int, total: int) -> str:
+    percent = 100.0 * done / total if total else 100.0
+    return f"{label} -- partial run: {done}/{total} trials ({percent:.1f}%)"
+
+
+def _report_file(parser: argparse.ArgumentParser, path: Path) -> tuple[str, bool]:
+    """Render one results file: ``(text, complete)``.
+
+    Handles a campaign checkpoint or an experiment stream; an incomplete
+    file renders its completion state instead of the aggregate.
+    """
     from repro.analysis.reporting import format_experiment_result, format_point_result
 
     text = path.read_text()
     if _has_experiment_header(text):
         result = ExperimentResult.from_jsonl(text)
         if not result.complete:
-            parser.error(f"{path} holds an incomplete experiment shard")
-        return format_experiment_result(result)
+            return _format_partial_points(
+                f"experiment: {result.spec.label}",
+                [(p.spec.label, len(p.records.records), p.spec.n_trials) for p in result.points],
+            ), False
+        return format_experiment_result(result), True
     try:
         records = TrialRecordSet.from_jsonl(text)
     except ValueError as exc:
         parser.error(f"cannot parse {path}: {exc}")
     if not records.complete:
-        parser.error(
-            f"{path} is incomplete ({len(records)}/{records.spec.n_trials} "
-            "trials); finish the run before reporting"
+        return (
+            _completion_line(
+                f"campaign: {records.spec.label}", len(records), records.spec.n_trials
+            ),
+            False,
         )
     title = f"campaign: {records.spec.label} ({records.spec.n_trials} trials)"
-    return format_point_result(records.aggregate(), title=title)
+    return format_point_result(records.aggregate(), title=title), True
+
+
+def _format_partial_points(label: str, states: list[tuple[str, int, int]]) -> str:
+    """A completion-state table for a partial multi-point run."""
+    from repro.analysis.reporting import format_table
+
+    done = sum(d for _, d, _ in states)
+    total = sum(t for _, _, t in states)
+    points_done = sum(1 for _, d, t in states if d == t)
+    title = (
+        f"{_completion_line(label, done, total)}, "
+        f"points {points_done}/{len(states)}"
+    )
+    rows = [
+        [name, f"{d}/{t}", "complete" if d == t else ("partial" if d else "pending")]
+        for name, d, t in states
+    ]
+    return format_table(["point", "trials", "state"], rows, title=title)
 
 
 def _has_experiment_header(text: str) -> bool:
@@ -175,37 +387,52 @@ def _has_experiment_header(text: str) -> bool:
     return isinstance(head, dict) and "experiment" in head
 
 
-def _report_directory(parser: argparse.ArgumentParser, path: Path) -> list[str]:
-    """Render a sweep results directory (manifest-aware, else per-file)."""
+def _report_directory(
+    parser: argparse.ArgumentParser, path: Path
+) -> list[tuple[str, bool]]:
+    """Render a sweep results directory (manifest-aware, else per-file).
+
+    With a manifest, an interrupted sweep renders a per-point completion
+    table instead of erroring out.  The table is computed from the JSONL
+    files themselves (the ground truth); the manifest contributes the spec,
+    so even never-started grid points render as ``pending`` rows.
+    """
     from repro.analysis.reporting import format_experiment_result
 
     manifest = path / MANIFEST_NAME
     if manifest.exists():
-        spec = ExperimentSpec.from_json(manifest.read_text())
+        spec, _progress = read_manifest(manifest)
         points = []
+        states: list[tuple[str, int, int]] = []
         for index, (point, campaign_spec) in enumerate(spec.expanded()):
             point_path = campaign_results_path(path, index, campaign_spec)
-            if not point_path.exists():
-                parser.error(
-                    f"sweep directory {path} is missing grid point {index} "
-                    f"({point_path.name}); finish the run before reporting"
-                )
-            records = TrialRecordSet.load(point_path, spec=campaign_spec)
-            if not records.complete:
-                parser.error(
-                    f"{point_path} is incomplete "
-                    f"({len(records)}/{records.spec.n_trials} trials)"
-                )
-            points.append(
-                PointResult(
-                    index=index,
-                    point=point,
-                    spec=campaign_spec,
-                    records=records,
-                    result=records.aggregate(),
-                )
+            if point_path.exists():
+                records = TrialRecordSet.load(point_path, spec=campaign_spec)
+            else:
+                records = TrialRecordSet(spec=campaign_spec)
+            states.append((campaign_spec.label, len(records.records), campaign_spec.n_trials))
+            points.append((index, point, campaign_spec, records))
+        if not all(done == total for _, done, total in states):
+            label = f"{spec.kind}: {spec.label}"
+            return [(_format_partial_points(label, states), False)]
+        complete_points = [
+            PointResult(
+                index=index,
+                point=point,
+                spec=campaign_spec,
+                records=records,
+                result=records.aggregate(),
             )
-        return [format_experiment_result(ExperimentResult(spec=spec, points=points))]
+            for index, point, campaign_spec, records in points
+        ]
+        return [
+            (
+                format_experiment_result(
+                    ExperimentResult(spec=spec, points=complete_points)
+                ),
+                True,
+            )
+        ]
     jsonl_files = sorted(p for p in path.iterdir() if p.suffix == ".jsonl")
     if not jsonl_files:
         parser.error(f"results directory {path} holds no JSONL files")
@@ -237,6 +464,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the expanded campaign specs as JSON lines and exit",
     )
     sweep.set_defaults(handler=cmd_sweep)
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a distributed run: pull trial batches from a coordinator",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by `repro run --executor distributed`)",
+    )
+    worker.add_argument(
+        "--authkey",
+        default=None,
+        help="shared secret; must match the coordinator's (falls back to "
+        "the REPRO_AUTHKEY environment variable, which keeps the secret "
+        "off the process table)",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N batches (worker recycling); remaining "
+        "work is re-leased to other workers",
+    )
+    worker.add_argument(
+        "--import",
+        dest="imports",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import a module (dotted name or .py path) registering extra "
+        "trial kernels before pulling work; repeatable",
+    )
+    worker.set_defaults(handler=cmd_worker)
 
     list_parser = commands.add_parser(
         "list-campaigns", help="list registered trial kernels with summaries"

@@ -1,0 +1,587 @@
+"""The ``distributed`` executor: a socket coordinator plus remote workers.
+
+The backend ships :class:`~repro.exec.executors.TrialSlice` batches to
+workers over a :mod:`multiprocessing.managers` transport and streams the
+finished ``(point, trial, record)`` triples back through the engine's JSONL
+checkpoint layer.  Because per-trial seeds derive from the spec root and
+records are keyed by index, the finished checkpoints are *byte-identical* to
+a ``serial`` run for any worker count, for workers joining or leaving
+mid-run, and across kill/resume histories.
+
+Topology
+--------
+The coordinator (the process running the experiment) serves three proxied
+objects on one TCP address: a **task queue** of pending batches, a **result
+queue** of worker messages, and a **control** flag workers poll to learn the
+run is over.  Workers are plain processes started with::
+
+    python -m repro worker --connect HOST:PORT [--authkey KEY]
+
+on any machine that can reach the coordinator; they loop ``claim -> run ->
+report`` until the control flag flips.  By default the executor also spawns
+``n_workers`` local worker subprocesses, so ``--executor distributed
+--workers 2`` is self-contained; external workers can *additionally* join
+(and leave) at any point mid-run.
+
+Fault tolerance
+---------------
+Work is leased, never given away: a worker announces a ``claim`` before
+running a batch, and a claimed batch whose ``done`` message does not arrive
+within ``lease_timeout`` seconds is re-enqueued for any live worker (a
+SIGKILLed worker therefore loses nothing but time).  A lease held by a
+locally-spawned worker whose process is verifiably still running is merely
+slow and gets extended instead.  Batches are deterministic and idempotent,
+so a lease that expires on a slow *external* worker is harmless -- the
+first ``done`` wins and duplicates are dropped.  Each batch is re-leased at
+most ``max_requeues`` times before the run fails loudly instead of spinning
+forever.
+
+The connection is authenticated with a shared secret: explicit ``authkey``
+or, by default, a random per-run token handed to spawned workers through
+the ``REPRO_AUTHKEY`` environment variable (never argv) -- so an exposed
+coordinator port is not open to anyone who has read this source.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import queue
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from multiprocessing.managers import BaseManager
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.exec.executors import (
+    Executor,
+    TrialResult,
+    TrialSlice,
+    register_executor,
+)
+from repro.fault.runner import _run_trial_batch
+
+#: Environment variable workers read the shared secret from when ``--authkey``
+#: is not given; spawned workers receive the coordinator's key this way so the
+#: secret never appears on a world-readable command line.
+AUTHKEY_ENV = "REPRO_AUTHKEY"
+
+#: Default seconds a claimed batch may stay silent before it is re-enqueued.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+class _Control:
+    """Run state the workers poll through their manager proxy."""
+
+    def __init__(self) -> None:
+        self._shutdown = False
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+
+    def should_stop(self) -> bool:
+        return self._shutdown
+
+
+class WorkerManager(BaseManager):
+    """Client-side manager connecting a worker to a coordinator."""
+
+
+WorkerManager.register("get_tasks")
+WorkerManager.register("get_results")
+WorkerManager.register("get_control")
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``:PORT``, meaning 127.0.0.1) into an address."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise ValueError(f"address {text!r} is not HOST:PORT")
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"address {text!r} has a non-integer port") from None
+
+
+def import_worker_module(spec: str):
+    """Import a kernel-registering module by dotted name or ``.py`` path.
+
+    Workers run in fresh interpreters, so trial kernels registered outside
+    the built-in modules must be re-registered there; ``python -m repro
+    worker --import my_kernels`` (or ``--import path/to/kernels.py``) runs
+    the registration side effects before the worker starts pulling batches.
+    """
+    path = Path(spec)
+    if path.suffix == ".py":
+        name = path.stem
+        if name in sys.modules:
+            return sys.modules[name]
+        module_spec = importlib.util.spec_from_file_location(name, path)
+        if module_spec is None or module_spec.loader is None:
+            raise ImportError(f"cannot load worker module from {spec!r}")
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[name] = module
+        module_spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------------- #
+def _start_coordinator(host: str, port: int, authkey: str):
+    """Serve task/result/control objects on ``(host, port)`` in a daemon thread.
+
+    The server runs *in-process* (no extra server process), so the
+    coordinator touches the real :class:`queue.Queue` objects directly while
+    workers go through proxies -- and nothing has to be picklable at
+    registration time.
+    """
+    tasks: queue.Queue = queue.Queue()
+    results: queue.Queue = queue.Queue()
+    control = _Control()
+
+    class _Coordinator(BaseManager):
+        pass
+
+    _Coordinator.register("get_tasks", callable=lambda: tasks)
+    _Coordinator.register("get_results", callable=lambda: results)
+    _Coordinator.register("get_control", callable=lambda: control)
+    manager = _Coordinator(address=(host, port), authkey=authkey.encode())
+    server = manager.get_server()
+    # Server.serve_forever would normally create this; serve_client loops on
+    # it, and _stop_coordinator sets it to end those loops.
+    server.stop_event = threading.Event()
+
+    def _serve() -> None:
+        # A hand-rolled accept loop instead of Server.serve_forever: the
+        # stdlib loop is written for a dedicated server *process* -- its
+        # finally block resets the global sys.stdout/sys.stderr and calls
+        # sys.exit -- which must not happen inside the coordinator (it would
+        # silently undo pytest/redirect_stdout captures at shutdown).
+        while not server.stop_event.is_set():
+            try:
+                connection = server.listener.accept()
+            except OSError:
+                return  # listener closed: the run is over
+            handler = threading.Thread(
+                target=server.handle_request, args=(connection,), daemon=True
+            )
+            handler.start()
+
+    thread = threading.Thread(target=_serve, daemon=True, name="repro-coordinator")
+    thread.start()
+    return tasks, results, control, server
+
+
+def _stop_coordinator(server) -> None:
+    """Best-effort shutdown of the in-thread manager server."""
+    try:
+        server.stop_event.set()
+    except Exception:
+        pass
+    try:
+        server.listener.close()
+    except Exception:
+        pass
+
+
+@register_executor("distributed")
+class DistributedExecutor(Executor):
+    """Lease-based batch dispatch to local and/or remote worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Local worker subprocesses to spawn (when ``spawn_workers``); also the
+        usual parallelism budget for batch sizing.
+    host / port:
+        Bind address of the coordinator.  Port ``0`` picks an ephemeral port
+        (the bound address is exposed as :attr:`address` once serving, and
+        printed when ``announce`` is set).  Bind a routable host to accept
+        workers from other machines.
+    authkey:
+        Shared secret of the manager connection.  ``None`` (default)
+        generates a random per-run token: spawned workers receive it
+        automatically via the ``REPRO_AUTHKEY`` environment variable, and
+        the announce line shows it for external workers.  Pass an explicit
+        key to coordinate it out of band.
+    spawn_workers:
+        Spawn ``n_workers`` local ``python -m repro worker`` subprocesses
+        (default).  Disable to rely entirely on externally-started workers.
+    lease_timeout:
+        Seconds a claimed batch may stay unreported before re-enqueueing.
+    max_requeues:
+        Re-lease budget per batch before the run fails loudly.
+    worker_max_tasks:
+        Recycle spawned workers after this many batches: the worker exits
+        cleanly and the coordinator spawns a replacement while work remains
+        (memory hygiene; also exercised by the chaos tests as a clean
+        "worker leaves mid-run").
+    worker_imports:
+        Extra modules (dotted names or ``.py`` paths) spawned workers import
+        before pulling work, for trial kernels registered outside repro.
+    stall_timeout:
+        Optional hard watchdog: fail if no batch completes for this many
+        seconds while work is pending.
+    announce:
+        Print the bound coordinator address to stderr (the CLI enables this
+        so external workers know where to connect).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        authkey: str | None = None,
+        spawn_workers: bool = True,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_requeues: int = 8,
+        worker_max_tasks: int | None = None,
+        worker_imports: Sequence[str] = (),
+        stall_timeout: float | None = None,
+        announce: bool = False,
+        poll_interval: float = 0.1,
+    ) -> None:
+        super().__init__(n_workers=n_workers)
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_requeues < 1:
+            raise ValueError("max_requeues must be >= 1")
+        if worker_max_tasks is not None and worker_max_tasks < 1:
+            # 0 would make every spawned worker exit before its first batch
+            # and the recycler respawn replacements forever.
+            raise ValueError("worker_max_tasks must be >= 1 (or None)")
+        self.host = host
+        self.port = port
+        self._generated_authkey = authkey is None
+        self.authkey = authkey if authkey is not None else secrets.token_hex(16)
+        self.spawn_workers = spawn_workers
+        self.lease_timeout = lease_timeout
+        self.max_requeues = max_requeues
+        self.worker_max_tasks = worker_max_tasks
+        self.worker_imports = tuple(worker_imports)
+        self.stall_timeout = stall_timeout
+        self.announce = announce
+        self.poll_interval = poll_interval
+        #: Bound coordinator address, set once the server thread is serving.
+        self.address: tuple[str, int] | None = None
+        #: Spawned local worker subprocesses (``subprocess.Popen``).
+        self.workers: list[subprocess.Popen] = []
+        #: Workers that retired at their ``worker_max_tasks`` quota and were
+        #: replaced by a fresh spawn.
+        self.retired: list[subprocess.Popen] = []
+
+    # ------------------------------------------------------------------ #
+    def execute(self, slices: Sequence[TrialSlice]) -> Iterator[TrialResult]:
+        batches = self._batches(slices)
+        if not batches:
+            return
+        tasks, results, control, server = _start_coordinator(
+            self.host, self.port, self.authkey
+        )
+        self.address = server.address
+        if self.announce:
+            print(
+                f"distributed: coordinator listening on "
+                f"{self.address[0]}:{self.address[1]}",
+                file=sys.stderr,
+            )
+            if self._generated_authkey:
+                # Operators need the per-run token to start external workers;
+                # the coordinator's own stderr is the operator channel.
+                print(
+                    f"distributed: workers join with "
+                    f"{AUTHKEY_ENV}={self.authkey} python -m repro worker "
+                    f"--connect {self.address[0]}:{self.address[1]}",
+                    file=sys.stderr,
+                )
+        try:
+            pending: dict[int, tuple] = {}
+            for task_id, batch in enumerate(batches):
+                message = (task_id, batch.point_index, batch.spec_dict, batch.indices)
+                pending[task_id] = message
+                tasks.put(message)
+            if self.spawn_workers:
+                self.workers = [
+                    self._spawn_worker()
+                    for _ in range(min(self.n_workers, len(batches)))
+                ]
+            yield from self._harvest(tasks, results, pending)
+        finally:
+            control.shutdown()
+            self._reap_workers()
+            _stop_coordinator(server)
+
+    # ------------------------------------------------------------------ #
+    def _harvest(self, tasks, results, pending) -> Iterator[TrialResult]:
+        """Drain worker messages until every batch has reported ``done``."""
+        #: task_id -> (lease deadline, claiming worker id)
+        leases: dict[int, tuple[float, str]] = {}
+        requeues: dict[int, int] = {}
+        last_progress = time.monotonic()
+        last_reconcile = time.monotonic()
+        reconcile_rounds = 0
+        while pending:
+            try:
+                message = results.get(timeout=self.poll_interval)
+            except queue.Empty:
+                self._requeue_expired(tasks, pending, leases, requeues)
+                last_reconcile, reconcile_rounds = self._reconcile_unleased(
+                    tasks,
+                    pending,
+                    leases,
+                    max(last_progress, last_reconcile),
+                    reconcile_rounds,
+                )
+                self._respawn_recycled()
+                self._check_stalled(pending, leases, last_progress)
+                continue
+            kind = message[0]
+            if kind == "claim":
+                _, task_id, worker_id = message
+                if task_id in pending:
+                    leases[task_id] = (
+                        time.monotonic() + self.lease_timeout,
+                        worker_id,
+                    )
+            elif kind == "error":
+                _, task_id, worker_id, text = message
+                if task_id not in pending:
+                    continue  # stale: a re-leased copy already completed elsewhere
+                raise RuntimeError(
+                    f"worker {worker_id} failed on batch {task_id}:\n{text}"
+                )
+            elif kind == "done":
+                _, task_id, _worker_id, point_index, records = message
+                if task_id not in pending:
+                    continue  # duplicate: an expired lease the slow worker still finished
+                del pending[task_id]
+                leases.pop(task_id, None)
+                last_progress = time.monotonic()
+                for index, record in records:
+                    yield point_index, index, record
+            else:
+                raise RuntimeError(f"unknown worker message kind {kind!r}")
+
+    def _live_local_worker_ids(self) -> set[str]:
+        """Worker ids (``host:pid``) of spawned workers that are still alive."""
+        host = socket.gethostname()
+        return {
+            f"{host}:{worker.pid}"
+            for worker in self.workers
+            if worker.poll() is None
+        }
+
+    def _requeue_expired(self, tasks, pending, leases, requeues) -> None:
+        """Re-enqueue claimed batches whose lease ran out (dead/stuck worker).
+
+        A lease held by a locally-spawned worker whose process is *still
+        alive* is merely slow -- it is extended, not counted against the
+        batch (a long batch must not read as a dying worker).  Leases held
+        by dead or external workers expire normally; the ``max_requeues``
+        backstop only accumulates across those.
+        """
+        now = time.monotonic()
+        alive_local = self._live_local_worker_ids()
+        for task_id, (deadline, holder) in list(leases.items()):
+            if task_id not in pending:
+                del leases[task_id]
+                continue
+            if now < deadline:
+                continue
+            if holder in alive_local:
+                leases[task_id] = (now + self.lease_timeout, holder)
+                continue
+            requeues[task_id] = requeues.get(task_id, 0) + 1
+            if requeues[task_id] > self.max_requeues:
+                raise RuntimeError(
+                    f"batch {task_id} exceeded {self.max_requeues} lease "
+                    "requeues; giving up (workers keep dying or stalling)"
+                )
+            del leases[task_id]
+            tasks.put(pending[task_id])
+
+    def _reconcile_unleased(
+        self, tasks, pending, leases, last_activity, rounds
+    ) -> tuple[float, int]:
+        """Recover batches lost in the take-to-claim gap of a dying worker.
+
+        A worker killed *between* popping a batch off the task queue and
+        announcing its claim leaves the batch pending with no lease to
+        expire.  Detect the loss by accounting: every unleased pending batch
+        should still be sitting in the task queue, so a shortfall after a
+        quiet ``lease_timeout`` means some were taken and never claimed --
+        re-enqueue them all (idempotent batches make duplicates harmless;
+        the first ``done`` wins).
+        """
+        now = time.monotonic()
+        if now - last_activity <= self.lease_timeout:
+            return last_activity, rounds
+        unleased = [task_id for task_id in pending if task_id not in leases]
+        if unleased and tasks.qsize() < len(unleased):
+            rounds += 1
+            if rounds > self.max_requeues:
+                raise RuntimeError(
+                    f"batches vanished in the take-to-claim gap "
+                    f"{self.max_requeues} times; giving up"
+                )
+            for task_id in unleased:
+                tasks.put(pending[task_id])
+        return now, rounds
+
+    def _respawn_recycled(self) -> None:
+        """Replace spawned workers that retired at their ``worker_max_tasks``
+        quota, so recycling cannot strand pending work (a worker that
+        *crashed* -- non-zero exit -- is deliberately not respawned: lease
+        recovery reassigns its batches and we avoid crash loops)."""
+        if not (self.spawn_workers and self.worker_max_tasks is not None):
+            return
+        for index, worker in enumerate(self.workers):
+            if worker.poll() is not None and worker.returncode == 0:
+                self.retired.append(worker)
+                self.workers[index] = self._spawn_worker()
+
+    def _check_stalled(self, pending, leases, last_progress) -> None:
+        """Fail fast when no progress is possible or a watchdog fires."""
+        now = time.monotonic()
+        if (
+            self.stall_timeout is not None
+            and now - last_progress > self.stall_timeout
+        ):
+            raise RuntimeError(
+                f"no batch completed for {self.stall_timeout:.0f}s with "
+                f"{len(pending)} pending; aborting (stall_timeout)"
+            )
+        # Quota-retired workers were already respawned this tick, so a fully
+        # dead worker list here means crashes -- with no external leases and
+        # a quiet lease_timeout, nothing can make progress.
+        if (
+            self.spawn_workers
+            and self.workers
+            and not leases
+            and now - last_progress > self.lease_timeout
+            and all(w.poll() is not None for w in self.workers)
+        ):
+            raise RuntimeError(
+                f"all {len(self.workers)} spawned workers exited with "
+                f"{len(pending)} batches pending and no external worker "
+                "holds a lease; aborting"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self) -> subprocess.Popen:
+        assert self.address is not None
+        host, port = self.address
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"{host}:{port}",
+        ]
+        if self.worker_max_tasks is not None:
+            cmd += ["--max-tasks", str(self.worker_max_tasks)]
+        for module in self.worker_imports:
+            cmd += ["--import", str(module)]
+        env = dict(os.environ)
+        # The secret travels by environment, not argv: command lines are
+        # world-readable in the process table on multi-user hosts.
+        env[AUTHKEY_ENV] = self.authkey
+        src = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        return subprocess.Popen(cmd, env=env)
+
+    def _reap_workers(self) -> None:
+        """Collect spawned workers: they exit on the control flag, else escalate."""
+        for worker in self.workers:
+            if worker.poll() is not None:
+                continue
+            try:
+                worker.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                worker.terminate()
+                try:
+                    worker.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+                    worker.wait()
+
+
+# --------------------------------------------------------------------------- #
+# Worker entry point (`python -m repro worker`)
+# --------------------------------------------------------------------------- #
+def _connect(address: tuple[str, int], authkey: str, timeout: float) -> WorkerManager:
+    """Connect to a coordinator, retrying briefly (it may still be binding)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        manager = WorkerManager(address=address, authkey=authkey.encode())
+        try:
+            manager.connect()
+            return manager
+        except (ConnectionError, OSError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.25)
+
+
+def run_worker(
+    address: tuple[str, int],
+    authkey: str,
+    max_tasks: int | None = None,
+    imports: Sequence[str] = (),
+    poll_interval: float = 0.2,
+    connect_timeout: float = 10.0,
+) -> int:
+    """Join a distributed run: pull batches, run them, report the records.
+
+    Loops ``claim -> run -> report`` until the coordinator flips its control
+    flag, the connection drops (coordinator gone: a clean exit -- every
+    unreported lease is re-enqueued there), or ``max_tasks`` batches have
+    been completed (a deliberate mid-run departure; the lease protocol hands
+    any remaining work to the other workers).
+
+    Returns the process exit code and prints a one-line completion summary.
+    """
+    for module in imports:
+        import_worker_module(module)
+    manager = _connect(address, authkey, connect_timeout)
+    tasks = manager.get_tasks()
+    results = manager.get_results()
+    control = manager.get_control()
+    worker_id = f"{socket.gethostname()}:{os.getpid()}"
+    completed = 0
+    try:
+        while max_tasks is None or completed < max_tasks:
+            if control.should_stop():
+                break
+            try:
+                task_id, point_index, spec_dict, indices = tasks.get(
+                    timeout=poll_interval
+                )
+            except queue.Empty:
+                continue
+            results.put(("claim", task_id, worker_id))
+            try:
+                records = _run_trial_batch(spec_dict, list(indices))
+            except Exception:
+                results.put(("error", task_id, worker_id, traceback.format_exc()))
+                return 1
+            results.put(("done", task_id, worker_id, point_index, records))
+            completed += 1
+    except (ConnectionError, EOFError, BrokenPipeError):
+        pass  # coordinator went away; nothing left to do here
+    # Stderr, like all heartbeat output: a spawned worker shares the
+    # coordinator's streams, and stdout must stay a clean result table.
+    print(f"worker {worker_id}: completed {completed} tasks", file=sys.stderr)
+    return 0

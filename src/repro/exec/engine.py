@@ -25,17 +25,22 @@ Convenience wrapper::
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
 from repro.exec.executors import Executor, TrialSlice, build_executor
+from repro.exec.progress import ProgressEvent, ProgressTracker
 from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
 from repro.exec.spec import ExperimentSpec
 from repro.fault.runner import _canonical_json
 
 #: Name of the spec manifest an engine run drops into a sweep results
 #: directory (lets ``python -m repro report <dir>`` rebuild the experiment).
+#: Alongside the spec it carries a ``"progress"`` completion snapshot, kept
+#: current as grid points finish so a partial run's state survives a kill.
 MANIFEST_NAME = "experiment.json"
 
 
@@ -43,6 +48,20 @@ def _experiment_resume_key(spec: ExperimentSpec) -> str:
     """Resume-identity of an experiment: everything but the cosmetic name."""
     data = {k: v for k, v in spec.to_dict().items() if k != "name"}
     return _canonical_json(data)
+
+
+def read_manifest(path: str | Path) -> tuple[ExperimentSpec, dict | None]:
+    """Parse an ``experiment.json`` manifest into ``(spec, progress or None)``.
+
+    The manifest is the experiment spec plus an optional ``"progress"``
+    completion snapshot (see :meth:`ProgressTracker.snapshot`); manifests
+    written before progress persistence existed parse fine (``None``).
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"manifest {path} is not a JSON object")
+    progress = data.pop("progress", None)
+    return ExperimentSpec.from_dict(data), progress
 
 
 class ExperimentRunner:
@@ -62,6 +81,11 @@ class ExperimentRunner:
         directory of per-point JSONL files for a sweep.  Existing files are
         used to skip finished trials (resume); completed files are rewritten
         in canonical trial-sorted order.
+    progress:
+        Optional progress listener(s) -- callables receiving every
+        :class:`~repro.exec.progress.ProgressEvent` of the run (trials done,
+        per-point state, throughput, ETA).  Emitted uniformly for every
+        backend, since all records stream through the engine.
     """
 
     def __init__(
@@ -70,9 +94,18 @@ class ExperimentRunner:
         executor: str | Executor = "serial",
         n_workers: int = 1,
         results_path: str | Path | None = None,
+        progress: Callable[[ProgressEvent], None]
+        | Sequence[Callable[[ProgressEvent], None]]
+        | None = None,
     ) -> None:
         self.spec = ExperimentSpec.from_any(spec)
         self.executor = build_executor(executor, n_workers=n_workers)
+        if progress is None:
+            self.progress_listeners: list = []
+        elif callable(progress):
+            self.progress_listeners = [progress]
+        else:
+            self.progress_listeners = list(progress)
         self.results_path = Path(results_path) if results_path is not None else None
         if self.results_path is not None:
             if self.spec.is_sweep and self.results_path.is_file():
@@ -99,7 +132,7 @@ class ExperimentRunner:
             return
         manifest = self.results_path / MANIFEST_NAME
         if manifest.exists():
-            existing = ExperimentSpec.from_json(manifest.read_text())
+            existing, _ = read_manifest(manifest)
             if _experiment_resume_key(existing) != _experiment_resume_key(self.spec):
                 raise ValueError(
                     f"{manifest} describes a different experiment; refusing "
@@ -108,6 +141,22 @@ class ExperimentRunner:
             return
         self.results_path.mkdir(parents=True, exist_ok=True)
         manifest.write_text(self.spec.to_json() + "\n")
+
+    def _persist_progress(self, tracker: ProgressTracker) -> None:
+        """Atomically refresh the manifest's ``progress`` completion snapshot.
+
+        The snapshot holds counts only (no wall-clock timing), so the
+        manifest of a finished sweep is byte-identical across backends and
+        interruption histories.
+        """
+        if self.results_path is None or not self.spec.is_sweep:
+            return
+        manifest = self.results_path / MANIFEST_NAME
+        payload = dict(self.spec.to_dict())
+        payload["progress"] = tracker.snapshot()
+        tmp = manifest.with_name(manifest.name + ".tmp")
+        tmp.write_text(_canonical_json(payload) + "\n")
+        os.replace(tmp, manifest)
 
     # ------------------------------------------------------------------ #
     def run(self) -> ExperimentResult:
@@ -132,22 +181,47 @@ class ExperimentRunner:
             record_sets.append(records)
             needs_header.append(not loaded)
 
+        tracker = ProgressTracker(
+            point_totals=[spec.n_trials for _, spec in expanded],
+            initial_done=[len(records.records) for records in record_sets],
+            listeners=self.progress_listeners,
+            label=self.spec.label,
+        )
+        tracker.start()
+        self._persist_progress(tracker)
+
         # Sinks open lazily on a point's first record and close as soon as the
         # point completes, so concurrent file descriptors are bounded by the
         # number of in-flight grid points, not the grid size.
         opened: set[int] = set()
+        stream = self.executor.execute(slices)
         try:
-            for point_index, trial, record in self.executor.execute(slices):
+            for point_index, trial, record in stream:
                 if point_index not in opened:
                     checkpoints[point_index].open(header=needs_header[point_index])
                     opened.add(point_index)
+                # A re-delivered record (e.g. a re-leased batch both copies of
+                # which eventually land) must not inflate the progress counts.
+                fresh = trial not in record_sets[point_index].records
                 record_sets[point_index].add(trial, record)
                 checkpoints[point_index].append(trial, record)
+                if fresh:
+                    tracker.trial_done(point_index)
                 if record_sets[point_index].complete:
                     checkpoints[point_index].close()
+                    tracker.point_completed(point_index)
+                    self._persist_progress(tracker)
         finally:
+            # Close the executor's generator eagerly so backends holding real
+            # resources (worker subprocesses, server sockets) release them
+            # even when a listener or checkpoint raised mid-stream -- then
+            # flush the sinks and persist how far the run actually got.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
             for checkpoint in checkpoints:
                 checkpoint.close()
+            self._persist_progress(tracker)
 
         points = []
         for index, (point, campaign_spec) in enumerate(expanded):
@@ -162,6 +236,7 @@ class ExperimentRunner:
                     result=records.aggregate(),
                 )
             )
+        tracker.finish()
         return ExperimentResult(
             spec=self.spec, points=points, executor=self.executor.name
         )
@@ -172,8 +247,15 @@ def run_experiment(
     executor: str | Executor = "serial",
     n_workers: int = 1,
     results_path: str | Path | None = None,
+    progress: Callable[[ProgressEvent], None]
+    | Sequence[Callable[[ProgressEvent], None]]
+    | None = None,
 ) -> ExperimentResult:
     """Convenience wrapper: build an :class:`ExperimentRunner` and run it."""
     return ExperimentRunner(
-        spec, executor=executor, n_workers=n_workers, results_path=results_path
+        spec,
+        executor=executor,
+        n_workers=n_workers,
+        results_path=results_path,
+        progress=progress,
     ).run()

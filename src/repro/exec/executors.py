@@ -19,6 +19,10 @@ Built-in backends (select by name, e.g. ``--executor process``):
   independently-submitted future whose records merge through the JSONL
   checkpoint layer as they land.  The shape distributed/remote shards slot
   into.
+* ``distributed`` -- lease-based batch dispatch to local and/or remote worker
+  processes over a ``multiprocessing.managers`` socket transport (see
+  :mod:`repro.exec.distributed`); workers join and leave mid-run, and a
+  killed worker's batches are re-leased automatically.
 
 New backends plug in with::
 
@@ -94,6 +98,14 @@ class Executor(abc.ABC):
         batch checkpoints before more work is handed out) and let one shared
         pool interleave grid points.
         """
+        if self.n_workers < 1:
+            # The constructor rejects this too, but a mutated instance must
+            # fail loudly here rather than silently batching work for zero
+            # workers (which would hang pool dispatch with unissued trials).
+            raise ValueError(
+                f"{type(self).__name__}.n_workers must be >= 1 to batch "
+                f"work, got {self.n_workers}"
+            )
         batches = []
         for piece in slices:
             n_chunks = max(self.n_workers * 4, -(-len(piece.indices) // 32))

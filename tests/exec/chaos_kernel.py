@@ -1,0 +1,33 @@
+"""Trial kernels for the distributed chaos tests.
+
+Not a test module: the chaos suite hands this file to worker subprocesses
+via ``python -m repro worker --import <path>`` (and imports it in-process
+with :func:`repro.exec.distributed.import_worker_module` for the serial
+reference runs), exercising the custom-kernel registration path end to end.
+
+``chaos_sleep`` pads every trial with a small sleep so a run stays in
+flight long enough to kill workers mid-shard deterministically;
+``chaos_error`` fails on purpose so the suite can assert worker errors
+propagate to the coordinator.
+"""
+
+import time
+
+from repro.fault.runner import register_campaign
+
+
+def _count_records(records, params):
+    return len(records)
+
+
+@register_campaign("chaos_sleep", aggregate=_count_records)
+def chaos_sleep(rng, params):
+    """Sleep-padded deterministic draw (keeps chaos runs in flight)."""
+    time.sleep(float(params.get("sleep", 0.01)))
+    return {"value": float(rng.random())}
+
+
+@register_campaign("chaos_error", aggregate=_count_records)
+def chaos_error(rng, params):
+    """Always fails (asserts worker-error propagation)."""
+    raise RuntimeError("deliberate chaos_error kernel failure")

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -170,14 +171,44 @@ class TestReport:
         # Falls back to one per-campaign block per JSONL file.
         assert out.count("campaign: cli-sweep/") == 4
 
-    def test_incomplete_file_rejected(self, campaign_file, tmp_path, capsys):
+    def test_incomplete_file_reports_partial_state(self, campaign_file, tmp_path, capsys):
+        """An interrupted campaign renders its completion state and exits 1."""
         results = tmp_path / "out.jsonl"
         main(["run", str(campaign_file), "--results", str(results)])
         capsys.readouterr()
         truncated = "\n".join(results.read_text().splitlines()[:3]) + "\n"
         results.write_text(truncated)
-        with pytest.raises(SystemExit):
-            main(["report", str(results)])
+        assert main(["report", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "partial run: 2/6 trials (33.3%)" in out
+
+    def test_partial_sweep_directory_reports_point_states(
+        self, sweep_file, tmp_path, capsys
+    ):
+        """A killed sweep renders a per-point completion table and exits 1."""
+        from repro.exec.engine import run_experiment
+
+        results = tmp_path / "out"
+
+        class Killed(Exception):
+            pass
+
+        def kill_after_first_point(event):
+            if event.kind == "point":
+                raise Killed
+
+        with pytest.raises(Killed):
+            run_experiment(SWEEP, results_path=results, progress=kill_after_first_point)
+        assert main(["report", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "sweep: cli-sweep -- partial run: 4/16 trials (25.0%), points 1/4" in out
+        assert out.count("complete") == 1
+        assert out.count("pending") == 3
+        # Finishing the run flips the report back to the full table, exit 0.
+        run_experiment(SWEEP, results_path=results)
+        capsys.readouterr()
+        assert main(["report", str(results)]) == 0
+        assert "sweep: cli-sweep (4 campaigns x 4 trials)" in capsys.readouterr().out
 
     def test_missing_path_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -201,6 +232,107 @@ class TestReport:
         stream.write_text(run_experiment(SWEEP).to_jsonl())
         assert main(["report", str(stream)]) == 0
         assert "sweep: cli-sweep" in capsys.readouterr().out
+
+
+class TestProgressFlag:
+    @pytest.mark.parametrize("executor", ["serial", "process", "async", "distributed"])
+    def test_every_backend_emits_monotonic_heartbeats(
+        self, campaign_file, executor, capfd
+    ):
+        assert (
+            main(
+                [
+                    "run",
+                    str(campaign_file),
+                    "--executor",
+                    executor,
+                    "--workers",
+                    "2",
+                    "--progress",
+                    "--progress-interval",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        err = capfd.readouterr().err
+        lines = [line for line in err.splitlines() if line.startswith("progress: ")]
+        assert lines, f"no heartbeat lines from backend {executor}: {err!r}"
+        done = [int(line.split()[1].split("/")[0]) for line in lines]
+        assert done == sorted(done), "progress counts must be monotonic"
+        assert done[-1] == 6
+        assert any("ETA" in line for line in lines)
+        assert "done in" in lines[-1]
+        # Plain text only: no carriage returns or cursor control in CI logs.
+        assert "\r" not in err and "\x1b" not in err
+
+    def test_progress_off_by_default(self, campaign_file, capsys):
+        assert main(["run", str(campaign_file)]) == 0
+        assert "progress:" not in capsys.readouterr().err
+
+    def test_distributed_flags_rejected_for_other_backends(self, campaign_file):
+        for flags in (
+            ["--lease-timeout", "5"],
+            ["--no-spawn-workers"],
+            ["--bind", "0.0.0.0:7777"],
+            ["--authkey", "secret"],
+            ["--stall-timeout", "5"],
+            ["--worker-import", "my_kernels"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["run", str(campaign_file), *flags])
+
+    def test_negative_progress_interval_rejected(self, campaign_file):
+        with pytest.raises(SystemExit):
+            main(["run", str(campaign_file), "--progress", "--progress-interval", "-1"])
+
+    def test_worker_import_runs_out_of_tree_kernel_distributed(
+        self, tmp_path, capsys
+    ):
+        """--worker-import registers an out-of-tree kernel in both the
+        coordinator (aggregation) and its spawned workers (execution)."""
+        kernel_path = Path(__file__).with_name("chaos_kernel.py")
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            ExperimentSpec(
+                campaign="chaos_sleep", n_trials=2, seed=1, params={"sleep": 0.0}
+            ).to_json()
+        )
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_file),
+                    "--executor",
+                    "distributed",
+                    "--worker-import",
+                    str(kernel_path),
+                ]
+            )
+            == 0
+        )
+        assert "chaos_sleep" in capsys.readouterr().out
+
+    def test_worker_requires_valid_address(self):
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "not-an-address"])
+
+    def test_worker_reports_authkey_mismatch_cleanly(self, capsys, monkeypatch):
+        from multiprocessing import AuthenticationError
+
+        def fake_run_worker(*args, **kwargs):
+            raise AuthenticationError("digest received was wrong")
+
+        import repro.exec.distributed as distributed_module
+
+        monkeypatch.setattr(distributed_module, "run_worker", fake_run_worker)
+        assert main(["worker", "--connect", "127.0.0.1:7777", "--authkey", "x"]) == 1
+        assert "--authkey does not match" in capsys.readouterr().err
+
+    def test_worker_requires_some_authkey(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTHKEY", raising=False)
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "127.0.0.1:7777"])
 
 
 class TestLegacyForwarding:

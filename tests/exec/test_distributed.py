@@ -1,0 +1,351 @@
+"""Chaos suite for the ``distributed`` executor backend.
+
+Spawns *real* worker subprocesses and injects infrastructure faults -- a
+SIGKILLed worker mid-shard, a worker leaving after a task quota, an external
+worker joining mid-run, a failing trial kernel -- then asserts the lease
+protocol recovers and the JSONL checkpoints stay byte-identical to a serial
+run of the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec.distributed import (
+    DistributedExecutor,
+    import_worker_module,
+    parse_address,
+    run_worker,
+)
+from repro.exec.engine import run_experiment
+from repro.exec.spec import ExperimentSpec
+
+#: The chaos kernels, registered in-process for the serial reference runs and
+#: handed to worker subprocesses via ``--import``.
+KERNEL_PATH = Path(__file__).with_name("chaos_kernel.py")
+import_worker_module(str(KERNEL_PATH))
+
+
+def _sleep_sweep(n_trials: int, sleep: float, name: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        campaign="chaos_sleep",
+        n_trials=n_trials,
+        seed=11,
+        params={"sleep": sleep},
+        grid={"shard": [0, 1]},
+        name=name,
+    )
+
+
+def _assert_byte_identical(reference: Path, candidate: Path) -> None:
+    ref_files = sorted(p.name for p in reference.glob("*.jsonl"))
+    assert ref_files == sorted(p.name for p in candidate.glob("*.jsonl"))
+    for name in ref_files:
+        assert (candidate / name).read_bytes() == (reference / name).read_bytes()
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+class TestHelpers:
+    def test_parse_address(self):
+        assert parse_address("10.0.0.2:7777") == ("10.0.0.2", 7777)
+        assert parse_address(":8888") == ("127.0.0.1", 8888)
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("no-port-here")
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_address("host:http")
+
+    def test_import_worker_module_by_path_is_idempotent(self):
+        first = import_worker_module(str(KERNEL_PATH))
+        again = import_worker_module(str(KERNEL_PATH))
+        assert first is again  # second import must not re-register the kernels
+
+    def test_worker_connect_failure_raises(self):
+        with pytest.raises(OSError):
+            run_worker(("127.0.0.1", 1), authkey="x", connect_timeout=0.5)
+
+    def test_invalid_lease_timeout_rejected(self):
+        with pytest.raises(ValueError, match="lease_timeout"):
+            DistributedExecutor(lease_timeout=0.0)
+
+    def test_zero_worker_quota_rejected(self):
+        with pytest.raises(ValueError, match="worker_max_tasks"):
+            DistributedExecutor(worker_max_tasks=0)
+
+    def test_spawned_worker_gets_authkey_by_environment_not_argv(self, tmp_path):
+        """The shared secret must never appear on a world-readable command
+        line; spawned workers read it from REPRO_AUTHKEY instead."""
+        spec = _sleep_sweep(n_trials=2, sleep=0.0, name="dist-authkey")
+        executor = DistributedExecutor(
+            n_workers=1,
+            lease_timeout=10.0,
+            authkey="s3cret-key",
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        result = run_experiment(spec, executor=executor, results_path=tmp_path / "out")
+        assert result.complete
+        assert executor.workers, "no local worker was spawned"
+        assert "s3cret-key" not in " ".join(executor.workers[0].args)
+
+
+class TestLeaseProtocol:
+    """Unit-level coordinator behaviour, driven without real workers."""
+
+    def test_take_to_claim_gap_is_reconciled(self):
+        """A batch taken off the queue by a worker that dies before claiming
+        must be re-enqueued once the queue accounting shows the shortfall."""
+        executor = DistributedExecutor(
+            n_workers=1, lease_timeout=0.3, spawn_workers=False, poll_interval=0.05
+        )
+        tasks: queue.Queue = queue.Queue()
+        results: queue.Queue = queue.Queue()
+        pending = {0: (0, 0, {}, (0,))}
+        tasks.put(pending[0])
+        tasks.get()  # a worker takes the batch, then dies before claiming
+
+        def surviving_worker():
+            message = tasks.get(timeout=10)  # the reconciled re-enqueue
+            results.put(("claim", message[0], "w"))
+            results.put(("done", message[0], "w", message[1], [(0, {"v": 1})]))
+
+        thread = threading.Thread(target=surviving_worker, daemon=True)
+        thread.start()
+        assert list(executor._harvest(tasks, results, pending)) == [(0, 0, {"v": 1})]
+
+    def test_stale_error_from_superseded_worker_ignored(self):
+        """An error about a batch that already completed elsewhere (an expired
+        lease the slow worker still worked on) must not abort the run."""
+        executor = DistributedExecutor(spawn_workers=False)
+        tasks: queue.Queue = queue.Queue()
+        results: queue.Queue = queue.Queue()
+        pending = {0: (0, 0, {}, (0,))}
+        results.put(("error", 7, "slow-worker", "stale boom"))  # 7 not pending
+        results.put(("done", 0, "w", 0, [(0, {"v": 2})]))
+        assert list(executor._harvest(tasks, results, pending)) == [(0, 0, {"v": 2})]
+
+    def test_error_on_pending_batch_raises(self):
+        executor = DistributedExecutor(spawn_workers=False)
+        tasks: queue.Queue = queue.Queue()
+        results: queue.Queue = queue.Queue()
+        pending = {0: (0, 0, {}, (0,))}
+        results.put(("error", 0, "w", "real boom"))
+        with pytest.raises(RuntimeError, match="real boom"):
+            list(executor._harvest(tasks, results, pending))
+
+    def test_expired_lease_of_live_local_worker_extended_not_requeued(self):
+        """A long batch on a healthy spawned worker is slow, not lost: its
+        lease extends and never burns the max_requeues budget."""
+
+        class FakeAliveWorker:
+            pid = 424242
+
+            def poll(self):
+                return None
+
+        executor = DistributedExecutor(spawn_workers=False, lease_timeout=5.0)
+        executor.workers = [FakeAliveWorker()]
+        holder = f"{socket.gethostname()}:424242"
+        tasks: queue.Queue = queue.Queue()
+        pending = {0: (0, 0, {}, (0,))}
+        expired = time.monotonic() - 1.0
+        leases = {0: (expired, holder)}
+        requeues: dict = {}
+        executor._requeue_expired(tasks, pending, leases, requeues)
+        assert tasks.qsize() == 0 and requeues == {}
+        assert leases[0][0] > time.monotonic()  # extended
+
+        # The same expired lease held by a *dead* worker is re-enqueued.
+        executor.workers = []
+        leases = {0: (expired, holder)}
+        executor._requeue_expired(tasks, pending, leases, requeues)
+        assert tasks.qsize() == 1 and requeues == {0: 1} and 0 not in leases
+
+    def test_duplicate_done_dropped(self):
+        executor = DistributedExecutor(spawn_workers=False)
+        tasks: queue.Queue = queue.Queue()
+        results: queue.Queue = queue.Queue()
+        pending = {0: (0, 0, {}, (0,))}
+        results.put(("done", 0, "a", 0, [(0, {"v": 3})]))
+        results.put(("done", 0, "b", 0, [(0, {"v": 3})]))  # re-leased copy
+        assert list(executor._harvest(tasks, results, pending)) == [(0, 0, {"v": 3})]
+
+
+class TestByteIdentity:
+    def test_single_worker_matches_serial(self, tmp_path):
+        spec = _sleep_sweep(n_trials=6, sleep=0.0, name="dist-one-worker")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+        dist_dir = tmp_path / "dist"
+        executor = DistributedExecutor(
+            n_workers=1, lease_timeout=10.0, worker_imports=[str(KERNEL_PATH)]
+        )
+        result = run_experiment(spec, executor=executor, results_path=dist_dir)
+        assert result.complete
+        assert result.executor == "distributed"
+        _assert_byte_identical(serial_dir, dist_dir)
+
+
+class TestChaos:
+    def test_sigkilled_worker_slice_is_reassigned(self, tmp_path):
+        """Kill one of two workers mid-shard: the coordinator re-leases its
+        batches, the run completes, and the bytes still match serial."""
+        spec = _sleep_sweep(n_trials=20, sleep=0.02, name="dist-sigkill")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+
+        executor = DistributedExecutor(
+            n_workers=2,
+            lease_timeout=1.5,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        killed = {}
+
+        def kill_first_worker(event):
+            if event.kind == "trial" and event.trials_done >= 3 and not killed:
+                victim = executor.workers[0]
+                victim.send_signal(signal.SIGKILL)
+                victim.wait()
+                killed["pid"] = victim.pid
+
+        dist_dir = tmp_path / "dist"
+        result = run_experiment(
+            spec, executor=executor, results_path=dist_dir, progress=kill_first_worker
+        )
+        assert killed, "the kill hook never fired (run finished too fast?)"
+        assert executor.workers[0].poll() is not None
+        assert result.complete
+        _assert_byte_identical(serial_dir, dist_dir)
+
+    def test_worker_leaves_and_external_worker_joins_mid_run(self, tmp_path):
+        """The spawned worker retires after 2 batches (clean mid-run leave);
+        an externally-launched worker joins mid-run and finishes the sweep."""
+        spec = _sleep_sweep(n_trials=12, sleep=0.02, name="dist-join")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+
+        executor = DistributedExecutor(
+            n_workers=1,
+            lease_timeout=10.0,
+            worker_max_tasks=2,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        external = {}
+
+        def launch_external(event):
+            if event.kind == "trial" and "proc" not in external:
+                host, port = executor.address
+                env = _worker_env()
+                env["REPRO_AUTHKEY"] = executor.authkey
+                external["proc"] = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--import",
+                        str(KERNEL_PATH),
+                    ],
+                    env=env,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+
+        dist_dir = tmp_path / "dist"
+        result = run_experiment(
+            spec, executor=executor, results_path=dist_dir, progress=launch_external
+        )
+        assert result.complete
+        # At least one spawned worker retired cleanly at its 2-task quota
+        # (and was replaced); current workers exit cleanly on shutdown.
+        assert executor.retired and executor.retired[0].returncode == 0
+        assert executor.workers[0].wait(timeout=10) == 0
+        # The external worker joined, did real work, and exits on shutdown.
+        proc = external["proc"]
+        stderr = proc.communicate(timeout=15)[1]
+        assert proc.returncode == 0
+        match = re.search(r"completed (\d+) tasks", stderr)
+        assert match is not None and int(match.group(1)) >= 1
+        _assert_byte_identical(serial_dir, dist_dir)
+
+    def test_worker_recycling_is_self_sufficient(self, tmp_path):
+        """A 1-worker run with a 1-task quota must respawn its way through
+        every batch rather than deadlocking after the first retirement."""
+        spec = _sleep_sweep(n_trials=6, sleep=0.0, name="dist-recycle")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+        executor = DistributedExecutor(
+            n_workers=1,
+            lease_timeout=10.0,
+            worker_max_tasks=1,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        dist_dir = tmp_path / "dist"
+        result = run_experiment(spec, executor=executor, results_path=dist_dir)
+        assert result.complete
+        assert executor.retired, "no worker was ever recycled"
+        assert all(worker.returncode == 0 for worker in executor.retired)
+        _assert_byte_identical(serial_dir, dist_dir)
+
+    def test_kernel_failure_propagates_to_coordinator(self, tmp_path):
+        spec = ExperimentSpec(
+            campaign="chaos_error", n_trials=1, seed=0, name="dist-error"
+        )
+        executor = DistributedExecutor(
+            n_workers=1, lease_timeout=10.0, worker_imports=[str(KERNEL_PATH)]
+        )
+        with pytest.raises(RuntimeError, match="deliberate chaos_error"):
+            run_experiment(spec, executor=executor, results_path=tmp_path / "out.jsonl")
+
+    def test_interrupted_coordinator_resumes_byte_identical(self, tmp_path):
+        """Abort the coordinator after the first grid point completes, then
+        restart into the same results directory: the resumed run finishes and
+        its bytes equal an uninterrupted serial run's."""
+        spec = _sleep_sweep(n_trials=8, sleep=0.0, name="dist-resume")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+
+        class Interrupted(Exception):
+            pass
+
+        def abort_after_first_point(event):
+            if event.kind == "point":
+                raise Interrupted
+
+        dist_dir = tmp_path / "dist"
+        with pytest.raises(Interrupted):
+            run_experiment(
+                spec,
+                executor=DistributedExecutor(
+                    n_workers=2, lease_timeout=10.0, worker_imports=[str(KERNEL_PATH)]
+                ),
+                results_path=dist_dir,
+                progress=abort_after_first_point,
+            )
+        resumed = run_experiment(
+            spec,
+            executor=DistributedExecutor(
+                n_workers=2, lease_timeout=10.0, worker_imports=[str(KERNEL_PATH)]
+            ),
+            results_path=dist_dir,
+        )
+        assert resumed.complete
+        _assert_byte_identical(serial_dir, dist_dir)

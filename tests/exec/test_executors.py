@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exec.checkpoint import campaign_results_path
 from repro.exec.engine import MANIFEST_NAME, ExperimentRunner, run_experiment
 from repro.exec.executors import (
     Executor,
@@ -14,7 +15,21 @@ from repro.exec.executors import (
     get_executor,
     register_executor,
 )
+from repro.exec.results import TrialRecordSet
 from repro.exec.spec import ExperimentSpec
+
+#: Every built-in backend; parametrized suites cover the whole registry.
+ALL_BACKENDS = ["serial", "process", "async", "distributed"]
+PARALLEL_BACKENDS = ["process", "async", "distributed"]
+
+
+def make_executor(name: str, n_workers: int = 2) -> Executor:
+    """A backend instance tuned for tests (fast lease recovery)."""
+    if name == "distributed":
+        from repro.exec.distributed import DistributedExecutor
+
+        return DistributedExecutor(n_workers=n_workers, lease_timeout=10.0)
+    return build_executor(name, n_workers=n_workers)
 
 #: A real (importable) campaign so fork/spawn workers can run it: 4 grid
 #: points, enough trials to split into several batches.
@@ -48,7 +63,7 @@ def _executor_registry_snapshot():
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert {"serial", "process", "async"} <= set(available_executors())
+        assert set(ALL_BACKENDS) <= set(available_executors())
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
@@ -88,33 +103,42 @@ class TestRegistry:
         with pytest.raises(ValueError):
             SerialExecutor(n_workers=0)
 
+    def test_batches_rejects_mutated_worker_count(self):
+        """A zero-worker instance must fail loudly, not batch silently."""
+        executor = SerialExecutor()
+        executor.n_workers = 0  # past the constructor check
+        with pytest.raises(ValueError, match="n_workers must be >= 1"):
+            executor._batches([TrialSlice(0, {}, (0, 1, 2))])
+
 
 class TestCrossExecutorDeterminism:
     """Regression: trial records are bit-identical across every backend."""
 
-    @pytest.mark.parametrize("executor", ["process", "async"])
+    @pytest.mark.parametrize("executor", PARALLEL_BACKENDS)
     def test_backend_matches_serial_records(self, executor):
         serial = run_experiment(SWEEP, executor="serial")
-        other = run_experiment(SWEEP, executor=executor, n_workers=4)
+        other = run_experiment(SWEEP, executor=make_executor(executor, 4))
         for a, b in zip(serial.points, other.points):
             assert a.records.records == b.records.records
             assert a.result.outcomes == b.result.outcomes
 
-    @pytest.mark.parametrize("executor", ["serial", "process", "async"])
+    @pytest.mark.parametrize("executor", ALL_BACKENDS)
     def test_checkpoint_bytes_identical_across_backends(self, tmp_path, executor):
         reference = tmp_path / "serial"
         run_experiment(SWEEP, executor="serial", results_path=reference)
         candidate = tmp_path / executor
-        run_experiment(SWEEP, executor=executor, n_workers=3, results_path=candidate)
+        run_experiment(
+            SWEEP, executor=make_executor(executor, 3), results_path=candidate
+        )
         ref_files = sorted(p.name for p in reference.iterdir())
         assert ref_files == sorted(p.name for p in candidate.iterdir())
         for name in ref_files:
             assert (candidate / name).read_bytes() == (reference / name).read_bytes()
 
-    @pytest.mark.parametrize("executor", ["process", "async"])
+    @pytest.mark.parametrize("executor", PARALLEL_BACKENDS)
     def test_single_campaign_matches_serial(self, executor):
         serial = run_experiment(CAMPAIGN, executor="serial")
-        other = run_experiment(CAMPAIGN, executor=executor, n_workers=4)
+        other = run_experiment(CAMPAIGN, executor=make_executor(executor, 4))
         assert serial.result.outcomes == other.result.outcomes
 
 
@@ -147,10 +171,15 @@ class TestResume:
         assert resumed.result.outcomes == reference.result.outcomes
 
     def test_manifest_written_and_checked(self, tmp_path):
+        from repro.exec.engine import read_manifest
+
         run_experiment(SWEEP, results_path=tmp_path)
         manifest = tmp_path / MANIFEST_NAME
         assert manifest.exists()
-        assert ExperimentSpec.from_json(manifest.read_text()) == SWEEP
+        spec, progress = read_manifest(manifest)
+        assert spec == SWEEP
+        assert progress["state"] == "complete"
+        assert progress["trials_done"] == progress["trials_total"] == 24
 
         renamed = ExperimentSpec.from_dict({**SWEEP.to_dict(), "name": "other-label"})
         run_experiment(renamed, results_path=tmp_path)  # cosmetic rename is fine
@@ -158,6 +187,89 @@ class TestResume:
         different = ExperimentSpec.from_dict({**SWEEP.to_dict(), "seed": 99})
         with pytest.raises(ValueError, match="different experiment"):
             run_experiment(different, results_path=tmp_path)
+
+
+class RecordingExecutor(Executor):
+    """Wraps a backend and records the slices the engine asked it to run."""
+
+    def __init__(self, inner: Executor) -> None:
+        super().__init__(n_workers=inner.n_workers)
+        self.inner = inner
+        self.requested: list[TrialSlice] = []
+
+    def execute(self, slices):
+        self.requested.extend(slices)
+        yield from self.inner.execute(slices)
+
+
+class TestResumeUnderFailure:
+    """Kill the coordinator mid-sweep, restart into the same results dir:
+    completed grid points never re-run and the merged result equals an
+    uninterrupted run's -- on every backend."""
+
+    class Killed(Exception):
+        pass
+
+    def _interrupted_run(self, tmp_path, executor):
+        """Run the sweep, aborting after the first grid point completes."""
+        results = tmp_path / "out"
+
+        def kill_after_first_point(event):
+            if event.kind == "point":
+                raise self.Killed
+
+        with pytest.raises(self.Killed):
+            run_experiment(
+                SWEEP,
+                executor=make_executor(executor),
+                results_path=results,
+                progress=kill_after_first_point,
+            )
+        return results
+
+    def _completed_points(self, results):
+        completed = set()
+        for index, campaign_spec in enumerate(SWEEP.expand()):
+            path = campaign_results_path(results, index, campaign_spec)
+            if path.exists():
+                records = TrialRecordSet.load(path, spec=campaign_spec)
+                if records.complete:
+                    completed.add(index)
+        return completed
+
+    @pytest.mark.parametrize("executor", ALL_BACKENDS)
+    def test_restart_skips_completed_points_and_matches_reference(
+        self, tmp_path, executor
+    ):
+        reference = run_experiment(SWEEP, executor="serial")
+        results = self._interrupted_run(tmp_path, executor)
+        completed = self._completed_points(results)
+        assert completed, "the simulated kill fired before any point completed"
+
+        recorder = RecordingExecutor(make_executor(executor))
+        resumed = run_experiment(SWEEP, executor=recorder, results_path=results)
+
+        # The engine never hands a completed grid point back to the backend.
+        requested_points = {piece.point_index for piece in recorder.requested}
+        assert requested_points.isdisjoint(completed)
+        # And the merged result equals the uninterrupted run's, byte for byte.
+        assert resumed.complete
+        for a, b in zip(reference.points, resumed.points):
+            assert a.records.records == b.records.records
+            assert a.result.outcomes == b.result.outcomes
+
+    @pytest.mark.parametrize("executor", ALL_BACKENDS)
+    def test_restarted_checkpoints_byte_identical_to_uninterrupted(
+        self, tmp_path, executor
+    ):
+        uninterrupted = tmp_path / "reference"
+        run_experiment(SWEEP, executor="serial", results_path=uninterrupted)
+        results = self._interrupted_run(tmp_path, executor)
+        run_experiment(
+            SWEEP, executor=make_executor(executor), results_path=results
+        )
+        for path in sorted(uninterrupted.iterdir()):
+            assert (results / path.name).read_bytes() == path.read_bytes()
 
 
 class TestSinkLifecycle:
