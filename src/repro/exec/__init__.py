@@ -30,8 +30,20 @@ Importing the package also registers the deterministic roofline-cost kernels
 """
 
 from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
-from repro.exec.distributed import DistributedExecutor, run_worker
-from repro.exec.engine import ExperimentRunner, read_manifest, run_experiment
+from repro.exec.distributed import (
+    DistributedExecutor,
+    ScalePolicy,
+    available_scale_policies,
+    build_scale_policy,
+    register_scale_policy,
+    run_worker,
+)
+from repro.exec.engine import (
+    ExperimentRunner,
+    progress_sidecar_path,
+    read_manifest,
+    run_experiment,
+)
 from repro.exec.executors import (
     AsyncExecutor,
     Executor,
@@ -75,18 +87,23 @@ __all__ = [
     "ProgressPrinter",
     "ProgressTracker",
     "RecordSummary",
+    "ScalePolicy",
     "SerialExecutor",
     "SummaryProtocol",
     "TrialCheckpoint",
     "TrialRecordSet",
     "TrialSlice",
     "available_executors",
+    "available_scale_policies",
     "build_executor",
+    "build_scale_policy",
     "campaign_results_path",
     "get_executor",
     "load_spec",
+    "progress_sidecar_path",
     "read_manifest",
     "register_executor",
+    "register_scale_policy",
     "run_experiment",
     "run_worker",
     "single_record_aggregate",

@@ -115,6 +115,30 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "externally-started `python -m repro worker` processes",
     )
     distributed.add_argument(
+        "--scale",
+        default=None,
+        metavar="POLICY",
+        help="worker-pool scale policy: 'fixed' (default; keep the spawned "
+        "pool at --workers) or 'queue-depth' (grow up to --max-workers "
+        "while the task queue stays deep, retire idle workers as it drains)",
+    )
+    distributed.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ceiling of the spawned pool for autoscaling policies "
+        "(default: --workers)",
+    )
+    distributed.add_argument(
+        "--max-respawns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replacements for spawned workers that die without a clean "
+        "quota-retirement before the run fails loudly (default: 8)",
+    )
+    distributed.add_argument(
         "--lease-timeout",
         type=_positive_float,
         default=None,
@@ -175,6 +199,9 @@ def _build_cli_executor(parser: argparse.ArgumentParser, args: argparse.Namespac
             ("--authkey", args.authkey),
             ("--lease-timeout", args.lease_timeout),
             ("--stall-timeout", args.stall_timeout),
+            ("--scale", args.scale),
+            ("--max-workers", args.max_workers),
+            ("--max-respawns", args.max_respawns),
         ]:
             if value is not None:
                 parser.error(f"{flag} requires --executor distributed")
@@ -201,21 +228,27 @@ def _build_cli_executor(parser: argparse.ArgumentParser, args: argparse.Namespac
             import_worker_module(module)
         except ImportError as exc:
             parser.error(f"cannot import --worker-import {module!r}: {exc}")
-    return DistributedExecutor(
-        n_workers=args.workers,
-        host=host,
-        port=port,
-        authkey=args.authkey,  # None generates a random per-run token
-        spawn_workers=not args.no_spawn_workers,
-        lease_timeout=(
-            args.lease_timeout
-            if args.lease_timeout is not None
-            else DEFAULT_LEASE_TIMEOUT
-        ),
-        stall_timeout=args.stall_timeout,
-        worker_imports=args.worker_imports,
-        announce=True,
-    )
+    try:
+        return DistributedExecutor(
+            n_workers=args.workers,
+            host=host,
+            port=port,
+            authkey=args.authkey,  # None generates a random per-run token
+            spawn_workers=not args.no_spawn_workers,
+            lease_timeout=(
+                args.lease_timeout
+                if args.lease_timeout is not None
+                else DEFAULT_LEASE_TIMEOUT
+            ),
+            stall_timeout=args.stall_timeout,
+            scale=args.scale if args.scale is not None else "fixed",
+            max_workers=args.max_workers,
+            max_respawns=args.max_respawns if args.max_respawns is not None else 8,
+            worker_imports=args.worker_imports,
+            announce=True,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _progress_listeners(args: argparse.Namespace):
@@ -307,8 +340,17 @@ def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     for raw in args.results:
         path = Path(raw)
         if not path.exists():
-            parser.error(f"results path {raw} does not exist")
-        if path.is_dir():
+            # A run interrupted before any record landed writes no JSONL at
+            # all, but the engine still persisted its progress sidecar --
+            # show that completion state instead of refusing outright.
+            from repro.exec.engine import progress_sidecar_path
+
+            sidecar = progress_sidecar_path(path)
+            if sidecar.exists():
+                rendered = [_report_progress_sidecar(parser, sidecar)]
+            else:
+                parser.error(f"results path {raw} does not exist")
+        elif path.is_dir():
             rendered = _report_directory(parser, path)
         else:
             rendered = [_report_file(parser, path)]
@@ -323,6 +365,21 @@ def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
 def _completion_line(label: str, done: int, total: int) -> str:
     percent = 100.0 * done / total if total else 100.0
     return f"{label} -- partial run: {done}/{total} trials ({percent:.1f}%)"
+
+
+def _report_progress_sidecar(
+    parser: argparse.ArgumentParser, sidecar: Path
+) -> tuple[str, bool]:
+    """Render the completion state of a run known only by its sidecar."""
+    try:
+        data = json.loads(sidecar.read_text())
+        spec = ExperimentSpec.from_dict(data["spec"])
+        progress = data["progress"]
+        done, total = progress["trials_done"], progress["trials_total"]
+    except (ValueError, KeyError, TypeError) as exc:
+        parser.error(f"cannot parse progress sidecar {sidecar}: {exc}")
+    line = _completion_line(f"campaign: {spec.label}", done, total)
+    return f"{line} [progress snapshot; no trial records on disk]", False
 
 
 def _report_file(parser: argparse.ArgumentParser, path: Path) -> tuple[str, bool]:
@@ -347,12 +404,22 @@ def _report_file(parser: argparse.ArgumentParser, path: Path) -> tuple[str, bool
     except ValueError as exc:
         parser.error(f"cannot parse {path}: {exc}")
     if not records.complete:
-        return (
-            _completion_line(
-                f"campaign: {records.spec.label}", len(records), records.spec.n_trials
-            ),
-            False,
+        line = _completion_line(
+            f"campaign: {records.spec.label}", len(records), records.spec.n_trials
         )
+        from repro.exec.engine import progress_sidecar_path
+
+        sidecar = progress_sidecar_path(path)
+        if sidecar.exists():
+            try:
+                snapshot = json.loads(sidecar.read_text())["progress"]
+                line += (
+                    f" [last snapshot: {snapshot['trials_done']}"
+                    f"/{snapshot['trials_total']} trials]"
+                )
+            except (ValueError, KeyError, TypeError):
+                pass  # a torn sidecar must not break the report
+        return line, False
     title = f"campaign: {records.spec.label} ({records.spec.n_trials} trials)"
     return format_point_result(records.aggregate(), title=title), True
 

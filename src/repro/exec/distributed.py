@@ -36,6 +36,24 @@ first ``done`` wins and duplicates are dropped.  Each batch is re-leased at
 most ``max_requeues`` times before the run fails loudly instead of spinning
 forever.
 
+Elasticity
+----------
+The spawned pool is *elastic*, not just fault-tolerant.  The coordinator's
+harvest loop detects spawned workers whose process exited without a clean
+quota-retirement and spawns replacements while pending work remains --
+``max_respawns`` bounds the total replacement budget so a crash-looping
+kernel fails loudly instead of burning CPU forever.  On top of that, a
+pluggable :class:`ScalePolicy` (``"fixed"`` keeps the pool at the
+``n_workers`` budget; ``"queue-depth"`` targets one worker per outstanding
+batch) can grow the pool up to ``max_workers`` while the task queue stays
+deep and retire idle workers through the control channel as it drains --
+retirement reuses the clean-exit machinery of ``worker_max_tasks``
+recycling, so a retired worker finishes its current batch, exits zero and
+is not replaced.  Per-worker lifecycle counts (spawned / retired / died /
+respawned, current pool size) are exposed via :meth:`Executor.pool_snapshot`
+and ride on every :class:`~repro.exec.progress.ProgressEvent`, making a
+run's pool history visible to ``--progress`` and testable.
+
 The connection is authenticated with a shared secret: explicit ``authkey``
 or, by default, a random per-run token handed to spawned workers through
 the ``REPRO_AUTHKEY`` environment variable (never argv) -- so an exposed
@@ -44,6 +62,8 @@ coordinator port is not open to anyone who has read this source.
 
 from __future__ import annotations
 
+import abc
+import hashlib
 import importlib
 import importlib.util
 import os
@@ -77,16 +97,37 @@ DEFAULT_LEASE_TIMEOUT = 30.0
 
 
 class _Control:
-    """Run state the workers poll through their manager proxy."""
+    """Run state the workers poll through their manager proxy.
+
+    Besides the run-over flag, the control object carries per-worker
+    *retirement* requests: the coordinator's scale policy asks an idle
+    spawned worker to leave by id, and the worker exits cleanly (code 0)
+    the next time it polls between batches -- the same clean-exit path as
+    ``worker_max_tasks`` recycling, so scale-down can never lose work.
+    """
 
     def __init__(self) -> None:
         self._shutdown = False
+        self._retire: set[str] = set()
 
     def shutdown(self) -> None:
         self._shutdown = True
 
     def should_stop(self) -> bool:
         return self._shutdown
+
+    def retire(self, worker_id: str) -> None:
+        self._retire.add(worker_id)
+
+    def withdraw_retire(self, worker_id: str) -> None:
+        self._retire.discard(worker_id)
+
+    def should_retire(self, worker_id: str) -> bool:
+        return worker_id in self._retire
+
+    def should_exit(self, worker_id: str) -> bool:
+        """Stop-or-retire in one proxy round-trip (the worker loop's poll)."""
+        return self._shutdown or worker_id in self._retire
 
 
 class WorkerManager(BaseManager):
@@ -99,15 +140,38 @@ WorkerManager.register("get_control")
 
 
 def parse_address(text: str) -> tuple[str, int]:
-    """Parse ``HOST:PORT`` (or bare ``:PORT``, meaning 127.0.0.1) into an address."""
+    """Parse ``HOST:PORT``, ``[IPV6]:PORT`` or bare ``:PORT`` (= 127.0.0.1).
+
+    IPv6 hosts must be bracketed (``[::1]:7777``): the brackets are stripped
+    off the returned host, and a bare multi-colon host is rejected with a
+    hint because it is ambiguous with the port separator.
+    """
     host, sep, port = text.rpartition(":")
-    if not sep:
+    if not sep or text.endswith("]"):  # no separator, or a port-less [IPV6]
         raise ValueError(f"address {text!r} is not HOST:PORT")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"address {text!r} has an empty bracketed host")
+    elif ":" in host:
+        raise ValueError(
+            f"address {text!r} has a bare IPv6 host; bracket it like "
+            f"[{host}]:{port}"
+        )
     host = host or "127.0.0.1"
     try:
         return host, int(port)
     except ValueError:
         raise ValueError(f"address {text!r} has a non-integer port") from None
+
+
+#: Modules imported from explicit ``.py`` paths, keyed by *resolved path*.
+#: The cache is deliberately not ``sys.modules`` keyed by the file's stem: an
+#: already-imported module that merely shares the stem (say an installed
+#: ``kernels`` package next to ``--import path/to/kernels.py``) must never be
+#: returned in place of the file, which would silently skip the trial-kernel
+#: registration side effects.
+_PATH_MODULES: dict[Path, object] = {}
 
 
 def import_worker_module(spec: str):
@@ -117,20 +181,140 @@ def import_worker_module(spec: str):
     the built-in modules must be re-registered there; ``python -m repro
     worker --import my_kernels`` (or ``--import path/to/kernels.py``) runs
     the registration side effects before the worker starts pulling batches.
+
+    Path imports are cached by resolved path (importing the same file twice
+    returns the same module without re-running its side effects) and are
+    registered in ``sys.modules`` under a path-namespaced name, so they can
+    neither collide with an installed package of the same stem nor with a
+    different file that happens to share it.
     """
     path = Path(spec)
     if path.suffix == ".py":
-        name = path.stem
-        if name in sys.modules:
-            return sys.modules[name]
-        module_spec = importlib.util.spec_from_file_location(name, path)
+        resolved = path.resolve()
+        cached = _PATH_MODULES.get(resolved)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha1(str(resolved).encode()).hexdigest()[:12]
+        name = f"_repro_worker_{path.stem}_{digest}"
+        module_spec = importlib.util.spec_from_file_location(name, resolved)
         if module_spec is None or module_spec.loader is None:
             raise ImportError(f"cannot load worker module from {spec!r}")
         module = importlib.util.module_from_spec(module_spec)
         sys.modules[name] = module
-        module_spec.loader.exec_module(module)
+        try:
+            module_spec.loader.exec_module(module)
+        except BaseException:
+            sys.modules.pop(name, None)
+            raise
+        _PATH_MODULES[resolved] = module
         return module
     return importlib.import_module(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Scale policies
+# --------------------------------------------------------------------------- #
+class ScalePolicy(abc.ABC):
+    """Strategy deciding how large the spawned worker pool should be.
+
+    The coordinator consults the policy on every scheduling tick and grows
+    or shrinks the pool toward the returned size: growth spawns fresh
+    ``python -m repro worker`` subprocesses (never past ``max_workers`` or
+    the number of outstanding batches), shrinkage retires *idle* workers
+    through the control channel (they exit cleanly between batches).  All
+    arguments are keyword-only observations of the current tick.
+    """
+
+    #: Registry name; set by :func:`register_scale_policy`.
+    name: str = ""
+
+    @abc.abstractmethod
+    def desired_size(
+        self,
+        *,
+        queue_depth: int,
+        pending: int,
+        leased: int,
+        pool_size: int,
+        n_workers: int,
+        max_workers: int,
+    ) -> int:
+        """Target spawned-pool size given the current scheduling state.
+
+        ``queue_depth`` counts unclaimed batches sitting in the task queue,
+        ``pending`` counts all unfinished batches (queued + leased),
+        ``leased`` counts batches currently claimed by some worker, and
+        ``pool_size`` is the current spawned pool (including workers already
+        asked to retire).  The coordinator clamps the result to
+        ``[0, max_workers]`` and never spawns more workers than there are
+        pending batches.
+        """
+
+
+_SCALE_POLICIES: dict[str, type[ScalePolicy]] = {}
+
+
+def register_scale_policy(name: str):
+    """Class decorator registering a :class:`ScalePolicy` under ``name``."""
+
+    def decorator(cls: type[ScalePolicy]) -> type[ScalePolicy]:
+        if name in _SCALE_POLICIES:
+            raise ValueError(f"scale policy {name!r} is already registered")
+        if not (isinstance(cls, type) and issubclass(cls, ScalePolicy)):
+            raise TypeError(f"{cls!r} must subclass ScalePolicy")
+        cls.name = name
+        _SCALE_POLICIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_scale_policies() -> list[str]:
+    """Sorted names of all registered scale policies."""
+    return sorted(_SCALE_POLICIES)
+
+
+def build_scale_policy(policy: str | ScalePolicy) -> ScalePolicy:
+    """Coerce a registry name or ready instance into a :class:`ScalePolicy`."""
+    if isinstance(policy, ScalePolicy):
+        return policy
+    try:
+        return _SCALE_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scale policy {policy!r}; registered: "
+            f"{available_scale_policies()}"
+        ) from None
+
+
+@register_scale_policy("fixed")
+class FixedScale(ScalePolicy):
+    """Keep the pool at whatever size it already has (no autoscaling).
+
+    The pool still changes through the respawn/recycle machinery -- dead and
+    quota-retired workers are replaced one for one -- but the policy itself
+    never grows or shrinks it, matching the pre-elastic behaviour.
+    """
+
+    def desired_size(self, *, pool_size: int, **_observations) -> int:
+        return pool_size
+
+
+@register_scale_policy("queue-depth")
+class QueueDepthScale(ScalePolicy):
+    """One worker per outstanding batch, clamped to ``[1, max_workers]``.
+
+    While the task queue stays deep the pool grows to ``max_workers``; as
+    the run drains below the pool size, surplus idle workers are retired --
+    proportional control with the batch backlog as the signal.
+    """
+
+    def desired_size(
+        self, *, pending: int, max_workers: int, **_observations
+    ) -> int:
+        if pending <= 0:
+            return 0
+        return max(1, min(max_workers, pending))
 
 
 # --------------------------------------------------------------------------- #
@@ -225,6 +409,20 @@ class DistributedExecutor(Executor):
         cleanly and the coordinator spawns a replacement while work remains
         (memory hygiene; also exercised by the chaos tests as a clean
         "worker leaves mid-run").
+    max_respawns:
+        Replacement budget for spawned workers that exited *without* a clean
+        quota-retirement (SIGKILL, segfault, unexpected exit): each such
+        death spawns a replacement while pending work remains, and the run
+        fails loudly once the budget is spent -- a crash-looping kernel must
+        not burn CPU forever.
+    scale:
+        :class:`ScalePolicy` name or instance governing the spawned pool
+        size each scheduling tick: ``"fixed"`` (default, no autoscaling) or
+        ``"queue-depth"`` (grow toward one worker per outstanding batch up
+        to ``max_workers``, retire idle workers as the queue drains).
+    max_workers:
+        Ceiling of the spawned pool for autoscaling policies (default:
+        ``n_workers``).
     worker_imports:
         Extra modules (dotted names or ``.py`` paths) spawned workers import
         before pulling work, for trial kernels registered outside repro.
@@ -246,6 +444,9 @@ class DistributedExecutor(Executor):
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         max_requeues: int = 8,
         worker_max_tasks: int | None = None,
+        max_respawns: int = 8,
+        scale: str | ScalePolicy = "fixed",
+        max_workers: int | None = None,
         worker_imports: Sequence[str] = (),
         stall_timeout: float | None = None,
         announce: bool = False,
@@ -260,6 +461,10 @@ class DistributedExecutor(Executor):
             # 0 would make every spawned worker exit before its first batch
             # and the recycler respawn replacements forever.
             raise ValueError("worker_max_tasks must be >= 1 (or None)")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None)")
         self.host = host
         self.port = port
         self._generated_authkey = authkey is None
@@ -268,6 +473,9 @@ class DistributedExecutor(Executor):
         self.lease_timeout = lease_timeout
         self.max_requeues = max_requeues
         self.worker_max_tasks = worker_max_tasks
+        self.max_respawns = max_respawns
+        self.scale_policy = build_scale_policy(scale)
+        self.max_workers = max_workers if max_workers is not None else n_workers
         self.worker_imports = tuple(worker_imports)
         self.stall_timeout = stall_timeout
         self.announce = announce
@@ -276,9 +484,19 @@ class DistributedExecutor(Executor):
         self.address: tuple[str, int] | None = None
         #: Spawned local worker subprocesses (``subprocess.Popen``).
         self.workers: list[subprocess.Popen] = []
-        #: Workers that retired at their ``worker_max_tasks`` quota and were
-        #: replaced by a fresh spawn.
+        #: Workers that left cleanly (``worker_max_tasks`` quota or a scale
+        #: policy retirement) and were collected by the coordinator.
         self.retired: list[subprocess.Popen] = []
+        #: Workers that exited without a clean quota-retirement (SIGKILL,
+        #: crash, unexpected exit) and were collected by the coordinator.
+        self.died: list[subprocess.Popen] = []
+        #: Lifecycle counters exposed through :meth:`pool_snapshot`.
+        self.stats = {"spawned": 0, "retired": 0, "died": 0, "respawned": 0}
+        #: Worker ids the scale policy has asked to retire (clean exits of
+        #: these are scale-downs, not quota recycles: no replacement).
+        self._retire_requested: set[str] = set()
+        #: Cached :meth:`pool_snapshot` payload, refreshed on pool changes.
+        self._pool_cache: dict | None = None
 
     # ------------------------------------------------------------------ #
     def execute(self, slices: Sequence[TrialSlice]) -> Iterator[TrialResult]:
@@ -315,15 +533,19 @@ class DistributedExecutor(Executor):
                     self._spawn_worker()
                     for _ in range(min(self.n_workers, len(batches)))
                 ]
-            yield from self._harvest(tasks, results, pending)
+                self._refresh_pool_snapshot()
+            yield from self._harvest(tasks, results, pending, control)
         finally:
+            self._finalize_pool()
             control.shutdown()
             self._reap_workers()
             _stop_coordinator(server)
 
     # ------------------------------------------------------------------ #
-    def _harvest(self, tasks, results, pending) -> Iterator[TrialResult]:
+    def _harvest(self, tasks, results, pending, control=None) -> Iterator[TrialResult]:
         """Drain worker messages until every batch has reported ``done``."""
+        if control is None:
+            control = _Control()  # unit-test path: no real workers to retire
         #: task_id -> (lease deadline, claiming worker id)
         leases: dict[int, tuple[float, str]] = {}
         requeues: dict[int, int] = {}
@@ -342,7 +564,7 @@ class DistributedExecutor(Executor):
                     max(last_progress, last_reconcile),
                     reconcile_rounds,
                 )
-                self._respawn_recycled()
+                self._manage_pool(tasks, pending, leases, control)
                 self._check_stalled(pending, leases, last_progress)
                 continue
             kind = message[0]
@@ -369,6 +591,10 @@ class DistributedExecutor(Executor):
                 last_progress = time.monotonic()
                 for index, record in records:
                     yield point_index, index, record
+                if pending:
+                    # Tick the pool on completions too, not only on idle
+                    # polls: a busy run must still scale down as it drains.
+                    self._manage_pool(tasks, pending, leases, control)
             else:
                 raise RuntimeError(f"unknown worker message kind {kind!r}")
 
@@ -438,20 +664,169 @@ class DistributedExecutor(Executor):
                 tasks.put(pending[task_id])
         return now, rounds
 
-    def _respawn_recycled(self) -> None:
-        """Replace spawned workers that retired at their ``worker_max_tasks``
-        quota, so recycling cannot strand pending work (a worker that
-        *crashed* -- non-zero exit -- is deliberately not respawned: lease
-        recovery reassigns its batches and we avoid crash loops)."""
-        if not (self.spawn_workers and self.worker_max_tasks is not None):
+    def _spawned_worker_id(self, worker: subprocess.Popen) -> str:
+        return f"{socket.gethostname()}:{worker.pid}"
+
+    def _manage_pool(self, tasks, pending, leases, control) -> None:
+        """One elasticity tick: collect exits, respawn, apply the scale policy."""
+        if not self.spawn_workers:
             return
-        for index, worker in enumerate(self.workers):
-            if worker.poll() is not None and worker.returncode == 0:
+        self._collect_exited(pending, control)
+        self._apply_scale(tasks, pending, leases, control)
+        self._refresh_pool_snapshot()
+
+    def _collect_exited(self, pending, control) -> None:
+        """Classify exited spawned workers and replace them while work remains.
+
+        A zero exit of a retire-requested worker is a scale-down (collected,
+        not replaced).  A zero exit under a ``worker_max_tasks`` quota is
+        recycling: replaced so recycling cannot strand pending work.  Every
+        other exit -- SIGKILL, crash, or an unexpected clean exit with no
+        quota configured -- is a death: replaced too, but each replacement
+        burns the ``max_respawns`` budget so a crash-looping kernel fails
+        loudly instead of respawning forever.
+        """
+        for index in reversed(range(len(self.workers))):
+            worker = self.workers[index]
+            if worker.poll() is None:
+                continue
+            del self.workers[index]
+            worker_id = self._spawned_worker_id(worker)
+            requested = worker_id in self._retire_requested
+            self._retire_requested.discard(worker_id)
+            # Drop the collected id from the shared control set too, so a
+            # recycled pid can never inherit a stale retirement request.
+            control.withdraw_retire(worker_id)
+            if worker.returncode == 0 and (
+                requested or self.worker_max_tasks is not None
+            ):
                 self.retired.append(worker)
-                self.workers[index] = self._spawn_worker()
+                self.stats["retired"] += 1
+                if pending and not requested:
+                    self.workers.append(self._spawn_worker())
+                continue
+            self.died.append(worker)
+            self.stats["died"] += 1
+            if not pending:
+                continue
+            self.stats["respawned"] += 1
+            if self.stats["respawned"] > self.max_respawns:
+                raise RuntimeError(
+                    f"spawned workers died {self.stats['died']} times (last "
+                    f"exit code {worker.returncode}); respawn budget "
+                    f"max_respawns={self.max_respawns} exhausted -- the "
+                    "kernel or environment is crash-looping"
+                )
+            self.workers.append(self._spawn_worker())
+
+    def _apply_scale(self, tasks, pending, leases, control) -> None:
+        """Grow or shrink the spawned pool toward the scale policy's target."""
+        desired = self.scale_policy.desired_size(
+            queue_depth=tasks.qsize(),
+            pending=len(pending),
+            leased=len(leases),
+            pool_size=len(self.workers),
+            n_workers=self.n_workers,
+            max_workers=self.max_workers,
+        )
+        desired = max(0, min(int(desired), self.max_workers))
+        retiring = sum(
+            1
+            for worker in self.workers
+            if self._spawned_worker_id(worker) in self._retire_requested
+        )
+        if desired > len(self.workers):
+            # Growth is capped by outstanding batches: an extra worker with
+            # nothing left to claim would spawn only to idle and retire.
+            target = min(desired, len(pending))
+            while len(self.workers) < target:
+                self.workers.append(self._spawn_worker())
+        elif desired < len(self.workers) - retiring:
+            holders = {holder for _, holder in leases.values()}
+            excess = len(self.workers) - retiring - desired
+            for worker in self.workers:
+                if excess <= 0:
+                    break
+                worker_id = self._spawned_worker_id(worker)
+                # Retire only idle workers; a lease holder finishes first.
+                if worker_id in holders or worker_id in self._retire_requested:
+                    continue
+                control.retire(worker_id)
+                self._retire_requested.add(worker_id)
+                excess -= 1
+
+    def _finalize_pool(self) -> None:
+        """Final lifecycle accounting before shutdown.
+
+        Collects workers that already exited (so a death or retirement in
+        the last instants of the run still shows up in the stats) without
+        touching still-live workers: their upcoming control-flag exits are
+        normal shutdown, not retirement.
+        """
+        for index in reversed(range(len(self.workers))):
+            worker = self.workers[index]
+            worker_id = self._spawned_worker_id(worker)
+            if worker.poll() is None:
+                if worker_id not in self._retire_requested:
+                    continue
+                # A retire-requested worker is between batches and about to
+                # leave (the control flag has not flipped yet, so its exit
+                # is the retirement): wait so the scale-down is accounted.
+                try:
+                    worker.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    continue
+            if worker.returncode == 0 and (
+                worker_id in self._retire_requested
+                or self.worker_max_tasks is not None
+            ):
+                del self.workers[index]
+                self._retire_requested.discard(worker_id)
+                self.retired.append(worker)
+                self.stats["retired"] += 1
+            elif worker.returncode != 0:
+                del self.workers[index]
+                self.died.append(worker)
+                self.stats["died"] += 1
+        self._refresh_pool_snapshot()
+
+    def _refresh_pool_snapshot(self) -> None:
+        """Recompute the cached pool counts (one ``poll`` per worker).
+
+        Called on the pool-changing paths (elasticity ticks, initial spawn,
+        finalisation) so :meth:`pool_snapshot` -- which the engine consults
+        once per streamed record -- stays a dict copy, not a syscall per
+        worker per trial.
+        """
+        self._pool_cache = {
+            "size": sum(1 for w in self.workers if w.poll() is None),
+            "spawned": self.stats["spawned"],
+            "retired": self.stats["retired"],
+            "died": self.stats["died"],
+            "respawned": self.stats["respawned"],
+        }
+
+    def pool_snapshot(self) -> dict | None:
+        """Lifecycle counts of the spawned pool (see ``Executor.pool_snapshot``).
+
+        ``None`` when the executor spawns no workers (externally-staffed
+        runs have no observable pool).
+        """
+        if not self.spawn_workers:
+            return None
+        if self._pool_cache is None:
+            self._refresh_pool_snapshot()
+        return dict(self._pool_cache)
 
     def _check_stalled(self, pending, leases, last_progress) -> None:
-        """Fail fast when no progress is possible or a watchdog fires."""
+        """Fail fast when the stall watchdog fires.
+
+        This used to also detect "every spawned worker exited with work
+        pending", but the elastic pool made that state unreachable: the
+        same tick's :meth:`_collect_exited` either respawns a dead worker
+        or raises on an exhausted ``max_respawns`` budget before this
+        check runs.
+        """
         now = time.monotonic()
         if (
             self.stall_timeout is not None
@@ -461,25 +836,11 @@ class DistributedExecutor(Executor):
                 f"no batch completed for {self.stall_timeout:.0f}s with "
                 f"{len(pending)} pending; aborting (stall_timeout)"
             )
-        # Quota-retired workers were already respawned this tick, so a fully
-        # dead worker list here means crashes -- with no external leases and
-        # a quiet lease_timeout, nothing can make progress.
-        if (
-            self.spawn_workers
-            and self.workers
-            and not leases
-            and now - last_progress > self.lease_timeout
-            and all(w.poll() is not None for w in self.workers)
-        ):
-            raise RuntimeError(
-                f"all {len(self.workers)} spawned workers exited with "
-                f"{len(pending)} batches pending and no external worker "
-                "holds a lease; aborting"
-            )
 
     # ------------------------------------------------------------------ #
     def _spawn_worker(self) -> subprocess.Popen:
         assert self.address is not None
+        self.stats["spawned"] += 1
         host, port = self.address
         cmd = [
             sys.executable,
@@ -546,10 +907,12 @@ def run_worker(
     """Join a distributed run: pull batches, run them, report the records.
 
     Loops ``claim -> run -> report`` until the coordinator flips its control
-    flag, the connection drops (coordinator gone: a clean exit -- every
-    unreported lease is re-enqueued there), or ``max_tasks`` batches have
-    been completed (a deliberate mid-run departure; the lease protocol hands
-    any remaining work to the other workers).
+    flag, asks this worker to retire (an autoscaling scale-down: the same
+    clean exit as a quota departure), the connection drops (coordinator
+    gone: a clean exit -- every unreported lease is re-enqueued there), or
+    ``max_tasks`` batches have been completed (a deliberate mid-run
+    departure; the lease protocol hands any remaining work to the other
+    workers).
 
     Returns the process exit code and prints a one-line completion summary.
     """
@@ -563,7 +926,7 @@ def run_worker(
     completed = 0
     try:
         while max_tasks is None or completed < max_tasks:
-            if control.should_stop():
+            if control.should_exit(worker_id):
                 break
             try:
                 task_id, point_index, spec_dict, indices = tasks.get(

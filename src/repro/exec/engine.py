@@ -44,6 +44,20 @@ from repro.fault.runner import _canonical_json
 MANIFEST_NAME = "experiment.json"
 
 
+def progress_sidecar_path(results_path: str | Path) -> Path:
+    """Progress-snapshot sidecar of a single-campaign results file.
+
+    A campaign checkpoints into one JSONL file and has no sweep manifest to
+    carry its completion snapshot, so the engine persists the counts-only
+    snapshot into ``<results>.progress.json`` next to it.  The sidecar is
+    removed when the run completes: its presence marks an interrupted (or
+    in-flight) run, and ``python -m repro report`` reads it to show the
+    completion state even before any trial record has landed.
+    """
+    results_path = Path(results_path)
+    return results_path.with_name(results_path.name + ".progress.json")
+
+
 def _experiment_resume_key(spec: ExperimentSpec) -> str:
     """Resume-identity of an experiment: everything but the cosmetic name."""
     data = {k: v for k, v in spec.to_dict().items() if k != "name"}
@@ -143,20 +157,30 @@ class ExperimentRunner:
         manifest.write_text(self.spec.to_json() + "\n")
 
     def _persist_progress(self, tracker: ProgressTracker) -> None:
-        """Atomically refresh the manifest's ``progress`` completion snapshot.
+        """Atomically refresh the persisted ``progress`` completion snapshot.
 
         The snapshot holds counts only (no wall-clock timing), so the
-        manifest of a finished sweep is byte-identical across backends and
-        interruption histories.
+        persisted state of a finished run is byte-identical across backends
+        and interruption histories.  Sweeps keep it inside the
+        ``experiment.json`` manifest; a single campaign has no manifest, so
+        its snapshot goes into a ``<results>.progress.json`` sidecar.
         """
-        if self.results_path is None or not self.spec.is_sweep:
+        if self.results_path is None:
             return
-        manifest = self.results_path / MANIFEST_NAME
-        payload = dict(self.spec.to_dict())
-        payload["progress"] = tracker.snapshot()
-        tmp = manifest.with_name(manifest.name + ".tmp")
+        if self.spec.is_sweep:
+            target = self.results_path / MANIFEST_NAME
+            payload = dict(self.spec.to_dict())
+            payload["progress"] = tracker.snapshot()
+        else:
+            target = progress_sidecar_path(self.results_path)
+            payload = {
+                "spec": self.spec.to_dict(),
+                "progress": tracker.snapshot(),
+            }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
         tmp.write_text(_canonical_json(payload) + "\n")
-        os.replace(tmp, manifest)
+        os.replace(tmp, target)
 
     # ------------------------------------------------------------------ #
     def run(self) -> ExperimentResult:
@@ -197,6 +221,9 @@ class ExperimentRunner:
         stream = self.executor.execute(slices)
         try:
             for point_index, trial, record in stream:
+                # Refresh the worker-pool counts an elastic backend exposes,
+                # so every emitted event carries the current pool state.
+                tracker.update_pool(self.executor.pool_snapshot())
                 if point_index not in opened:
                     checkpoints[point_index].open(header=needs_header[point_index])
                     opened.add(point_index)
@@ -222,6 +249,12 @@ class ExperimentRunner:
             for checkpoint in checkpoints:
                 checkpoint.close()
             self._persist_progress(tracker)
+
+        if self.results_path is not None and not self.spec.is_sweep:
+            # The run completed: the JSONL file is the whole truth now, so
+            # the interrupted-run sidecar comes off (its presence is the
+            # marker `repro report` uses for "this run never finished").
+            progress_sidecar_path(self.results_path).unlink(missing_ok=True)
 
         points = []
         for index, (point, campaign_spec) in enumerate(expanded):

@@ -91,6 +91,19 @@ class Executor(abc.ABC):
         engine keys every record by its indices.
         """
 
+    def pool_snapshot(self) -> dict | None:
+        """Current worker-pool lifecycle counts, or ``None`` if untracked.
+
+        Backends that own an observable pool of worker processes (the
+        ``distributed`` coordinator) return a dict of counts -- ``size``
+        (live workers now) plus cumulative ``spawned`` / ``retired`` /
+        ``died`` / ``respawned`` -- which the engine attaches to every
+        :class:`~repro.exec.progress.ProgressEvent` so a run's pool history
+        is visible to progress listeners.  The default is ``None``: serial
+        and pool backends have no per-worker lifecycle to report.
+        """
+        return None
+
     def _batches(self, slices: Sequence[TrialSlice]) -> list[TrialSlice]:
         """Split each slice into small batches, preserving point order.
 
@@ -219,12 +232,22 @@ class AsyncExecutor(Executor):
         batches = self._batches(slices)
         if not batches:
             return
-        with concurrent.futures.ProcessPoolExecutor(
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.n_workers, len(batches)),
             mp_context=_mp_context(),
-        ) as pool:
+        )
+        # Not a `with` block: the context manager exits via shutdown(wait=True)
+        # with nothing cancelled, so an *aborted* run (the engine closing this
+        # generator after a raising listener or a Ctrl-C) would block until
+        # every already-submitted batch finished.  Aborts and errors must
+        # instead drop the queued batches and return promptly.
+        try:
             futures = [pool.submit(_run_point_batch, batch) for batch in batches]
             for future in concurrent.futures.as_completed(futures):
                 point_index, results = future.result()
                 for index, record in results:
                     yield point_index, index, record
+        except BaseException:  # includes GeneratorExit from an engine abort
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)

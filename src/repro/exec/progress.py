@@ -60,6 +60,12 @@ class ProgressEvent:
     eta:
         Estimated seconds to completion (``0.0`` once done, ``None`` while
         there is no throughput estimate yet).
+    pool:
+        Latest worker-pool lifecycle counts reported by the executor
+        (``size`` live workers plus cumulative ``spawned`` / ``retired`` /
+        ``died`` / ``respawned``), or ``None`` for backends without an
+        observable pool.  Carried on every event once reported, so
+        listeners see the pool history of an elastic distributed run.
     """
 
     kind: str
@@ -73,6 +79,7 @@ class ProgressEvent:
     elapsed: float
     throughput: float | None
     eta: float | None
+    pool: dict | None = None
 
     @property
     def fraction(self) -> float:
@@ -138,6 +145,8 @@ class ProgressTracker:
             d == total for d, total in zip(self.point_done, self.point_totals)
         ]
         self._started_at: float | None = None
+        #: Latest executor-reported pool counts; rides on every event.
+        self.pool: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Derived state
@@ -188,6 +197,17 @@ class ProgressTracker:
         """Begin timing and emit the ``start`` event."""
         self._started_at = self._clock()
         self._emit("start", None)
+
+    def update_pool(self, pool: dict | None) -> None:
+        """Record the executor's latest worker-pool counts (no event).
+
+        The engine refreshes this from ``Executor.pool_snapshot`` as records
+        stream in; the stored counts ride on every subsequently emitted
+        event.  ``None`` clears them.  Pool counts are deliberately *not*
+        part of :meth:`snapshot`: the persisted completion state must stay
+        byte-identical across backends and worker histories.
+        """
+        self.pool = dict(pool) if pool is not None else None
 
     def trial_done(self, point_index: int) -> None:
         """Record one finished trial of ``point_index``."""
@@ -243,6 +263,7 @@ class ProgressTracker:
             elapsed=elapsed,
             throughput=throughput,
             eta=eta,
+            pool=self.pool,
         )
         for listener in self._listeners:
             listener(event)
@@ -264,12 +285,22 @@ def format_duration(seconds: float) -> str:
 
 
 def format_progress_line(event: ProgressEvent) -> str:
-    """One heartbeat line: counts, percent, points, throughput and ETA."""
+    """One heartbeat line: counts, percent, points, pool, throughput, ETA."""
     parts = [
         f"progress: {event.trials_done}/{event.trials_total} trials "
         f"({event.percent:.1f}%)",
         f"points {event.points_done}/{event.n_points}",
     ]
+    if event.pool is not None:
+        pool = f"pool {event.pool.get('size', 0)}"
+        lifecycle = [
+            f"{key} {event.pool[key]}"
+            for key in ("respawned", "retired", "died")
+            if event.pool.get(key)
+        ]
+        if lifecycle:
+            pool += " (" + ", ".join(lifecycle) + ")"
+        parts.append(pool)
     if event.throughput is not None:
         parts.append(f"{event.throughput:.1f} trials/s")
     if event.kind == "finish":

@@ -8,9 +8,12 @@ reference runs), exercising the custom-kernel registration path end to end.
 ``chaos_sleep`` pads every trial with a small sleep so a run stays in
 flight long enough to kill workers mid-shard deterministically;
 ``chaos_error`` fails on purpose so the suite can assert worker errors
-propagate to the coordinator.
+propagate to the coordinator; ``chaos_exit`` hard-kills the worker process
+itself (no exception, no report) so the suite can drive the coordinator's
+respawn policy into its ``max_respawns`` backstop.
 """
 
+import os
 import time
 
 from repro.fault.runner import register_campaign
@@ -31,3 +34,14 @@ def chaos_sleep(rng, params):
 def chaos_error(rng, params):
     """Always fails (asserts worker-error propagation)."""
     raise RuntimeError("deliberate chaos_error kernel failure")
+
+
+@register_campaign("chaos_exit", aggregate=_count_records)
+def chaos_exit(rng, params):
+    """Kill the hosting process outright (drives the respawn backstop).
+
+    ``os._exit`` skips every exception handler and cleanup path, exactly
+    like a segfaulting kernel: the worker vanishes mid-batch with a
+    non-zero exit code and no ``error`` report to the coordinator.
+    """
+    os._exit(int(params.get("code", 3)))

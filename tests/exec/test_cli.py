@@ -182,6 +182,66 @@ class TestReport:
         out = capsys.readouterr().out
         assert "partial run: 2/6 trials (33.3%)" in out
 
+    def test_interrupted_campaign_persists_progress_sidecar(self, tmp_path, capsys):
+        """A non-sweep run snapshots its progress into <results>.progress.json;
+        `report` shows the snapshot next to the on-disk record count."""
+        import json as json_module
+
+        from repro.exec.engine import progress_sidecar_path, run_experiment
+
+        results = tmp_path / "out.jsonl"
+
+        class Abort(Exception):
+            pass
+
+        def bomb(event):
+            if event.kind == "trial" and event.trials_done == 3:
+                raise Abort
+
+        with pytest.raises(Abort):
+            run_experiment(CAMPAIGN, results_path=results, progress=bomb)
+        sidecar = progress_sidecar_path(results)
+        assert sidecar.exists()
+        snapshot = json_module.loads(sidecar.read_text())["progress"]
+        assert snapshot["state"] == "partial"
+        assert snapshot["trials_done"] == 3
+        assert main(["report", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "partial run: 3/6 trials (50.0%)" in out
+        assert "[last snapshot: 3/6 trials]" in out
+        # Finishing the run removes the sidecar and reports cleanly again.
+        run_experiment(CAMPAIGN, results_path=results)
+        assert not sidecar.exists()
+        capsys.readouterr()
+        assert main(["report", str(results)]) == 0
+
+    def test_report_renders_sidecar_when_no_records_landed(self, tmp_path, capsys):
+        """A run killed before its first record leaves no JSONL at all, but
+        the sidecar still lets `report` show the completion state."""
+        from repro.exec.engine import progress_sidecar_path, run_experiment
+        from repro.exec.executors import Executor
+
+        results = tmp_path / "never-started.jsonl"
+
+        class Abort(Exception):
+            pass
+
+        class DiesBeforeFirstRecord(Executor):
+            def execute(self, slices):
+                raise Abort
+                yield  # pragma: no cover - makes execute a generator
+
+        with pytest.raises(Abort):
+            run_experiment(
+                CAMPAIGN, executor=DiesBeforeFirstRecord(), results_path=results
+            )
+        assert not results.exists()
+        assert progress_sidecar_path(results).exists()
+        assert main(["report", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "partial run: 0/6 trials (0.0%)" in out
+        assert "progress snapshot; no trial records on disk" in out
+
     def test_partial_sweep_directory_reports_point_states(
         self, sweep_file, tmp_path, capsys
     ):
@@ -278,9 +338,56 @@ class TestProgressFlag:
             ["--authkey", "secret"],
             ["--stall-timeout", "5"],
             ["--worker-import", "my_kernels"],
+            ["--scale", "queue-depth"],
+            ["--max-workers", "4"],
+            ["--max-respawns", "2"],
         ):
             with pytest.raises(SystemExit):
                 main(["run", str(campaign_file), *flags])
+
+    def test_unknown_scale_policy_rejected(self, campaign_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    str(campaign_file),
+                    "--executor",
+                    "distributed",
+                    "--scale",
+                    "thermostat",
+                ]
+            )
+
+    def test_distributed_autoscale_flags_run_end_to_end(self, tmp_path, capsys):
+        """`--scale queue-depth --max-workers N` flow through to the
+        executor and the elastic run still completes and reports."""
+        kernel_path = Path(__file__).with_name("chaos_kernel.py")
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            ExperimentSpec(
+                campaign="chaos_sleep", n_trials=4, seed=1, params={"sleep": 0.0}
+            ).to_json()
+        )
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_file),
+                    "--executor",
+                    "distributed",
+                    "--scale",
+                    "queue-depth",
+                    "--max-workers",
+                    "2",
+                    "--max-respawns",
+                    "4",
+                    "--worker-import",
+                    str(kernel_path),
+                ]
+            )
+            == 0
+        )
+        assert "chaos_sleep" in capsys.readouterr().out
 
     def test_negative_progress_interval_rejected(self, campaign_file):
         with pytest.raises(SystemExit):

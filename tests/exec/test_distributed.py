@@ -24,6 +24,9 @@ import pytest
 
 from repro.exec.distributed import (
     DistributedExecutor,
+    FixedScale,
+    QueueDepthScale,
+    build_scale_policy,
     import_worker_module,
     parse_address,
     run_worker,
@@ -72,10 +75,52 @@ class TestHelpers:
         with pytest.raises(ValueError, match="non-integer"):
             parse_address("host:http")
 
+    def test_parse_address_strips_ipv6_brackets(self):
+        """``[::1]:7777`` must connect to host ``::1``, not ``[::1]``."""
+        assert parse_address("[::1]:7777") == ("::1", 7777)
+        assert parse_address("[2001:db8::5]:80") == ("2001:db8::5", 80)
+
+    def test_parse_address_rejects_bare_ipv6_and_empty_brackets(self):
+        with pytest.raises(ValueError, match=r"bracket it like \[::1\]:7777"):
+            parse_address("::1:7777")
+        with pytest.raises(ValueError, match="empty bracketed host"):
+            parse_address("[]:7777")
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("[::1]")  # bracketed host but no port
+
     def test_import_worker_module_by_path_is_idempotent(self):
         first = import_worker_module(str(KERNEL_PATH))
         again = import_worker_module(str(KERNEL_PATH))
         assert first is again  # second import must not re-register the kernels
+
+    def test_import_worker_module_ignores_same_stem_sys_module(self, tmp_path):
+        """A ``--import path/to/mod.py`` whose stem equals an already-imported
+        module (an installed package, say) must execute the *file*, not
+        silently return the unrelated module and skip kernel registration."""
+        decoy = type(sys)("collide")  # what `import collide` would have cached
+        module_file = tmp_path / "collide.py"
+        module_file.write_text("SENTINEL = 'loaded-from-path'\n")
+        sys.modules["collide"] = decoy
+        try:
+            module = import_worker_module(str(module_file))
+            assert module is not decoy
+            assert module.SENTINEL == "loaded-from-path"
+            assert sys.modules["collide"] is decoy  # the decoy is untouched
+        finally:
+            sys.modules.pop("collide", None)
+
+    def test_import_worker_module_distinguishes_same_stem_paths(self, tmp_path):
+        """Two different files sharing a stem are two different modules."""
+        first_dir = tmp_path / "a"
+        second_dir = tmp_path / "b"
+        first_dir.mkdir()
+        second_dir.mkdir()
+        (first_dir / "kernels.py").write_text("WHICH = 'a'\n")
+        (second_dir / "kernels.py").write_text("WHICH = 'b'\n")
+        first = import_worker_module(str(first_dir / "kernels.py"))
+        second = import_worker_module(str(second_dir / "kernels.py"))
+        assert first is not second
+        assert (first.WHICH, second.WHICH) == ("a", "b")
 
     def test_worker_connect_failure_raises(self):
         with pytest.raises(OSError):
@@ -88,6 +133,51 @@ class TestHelpers:
     def test_zero_worker_quota_rejected(self):
         with pytest.raises(ValueError, match="worker_max_tasks"):
             DistributedExecutor(worker_max_tasks=0)
+
+    def test_invalid_elasticity_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_respawns"):
+            DistributedExecutor(max_respawns=-1)
+        with pytest.raises(ValueError, match="max_workers"):
+            DistributedExecutor(max_workers=0)
+        with pytest.raises(ValueError, match="unknown scale policy"):
+            DistributedExecutor(scale="thermostat")
+
+
+class TestScalePolicies:
+    """The pluggable pool-sizing strategies, as pure deterministic functions."""
+
+    @staticmethod
+    def _size(policy, **overrides):
+        observations = dict(
+            queue_depth=0, pending=0, leased=0, pool_size=2, n_workers=2, max_workers=4
+        )
+        observations.update(overrides)
+        return policy.desired_size(**observations)
+
+    def test_build_scale_policy(self):
+        assert isinstance(build_scale_policy("fixed"), FixedScale)
+        assert isinstance(build_scale_policy("queue-depth"), QueueDepthScale)
+        ready = QueueDepthScale()
+        assert build_scale_policy(ready) is ready
+        with pytest.raises(ValueError, match="unknown scale policy"):
+            build_scale_policy("thermostat")
+
+    def test_fixed_never_grows_or_shrinks(self):
+        policy = FixedScale()
+        assert self._size(policy, pool_size=2, pending=100) == 2
+        assert self._size(policy, pool_size=2, pending=1) == 2
+        assert self._size(policy, pool_size=0, pending=50) == 0
+
+    def test_queue_depth_grows_with_backlog_and_drains_with_it(self):
+        policy = QueueDepthScale()
+        # Deep queue: one worker per batch, capped at max_workers.
+        assert self._size(policy, pending=100, max_workers=4) == 4
+        assert self._size(policy, pending=3, max_workers=4) == 3
+        # Drained queue: surplus workers retire down to the backlog...
+        assert self._size(policy, pending=1, pool_size=4) == 1
+        # ...but never below one while work remains, and to zero when done.
+        assert self._size(policy, pending=1, max_workers=4) == 1
+        assert self._size(policy, pending=0, pool_size=4) == 0
 
     def test_spawned_worker_gets_authkey_by_environment_not_argv(self, tmp_path):
         """The shared secret must never appear on a world-readable command
@@ -203,9 +293,10 @@ class TestByteIdentity:
 
 
 class TestChaos:
-    def test_sigkilled_worker_slice_is_reassigned(self, tmp_path):
-        """Kill one of two workers mid-shard: the coordinator re-leases its
-        batches, the run completes, and the bytes still match serial."""
+    def test_sigkilled_worker_is_respawned_and_bytes_match_serial(self, tmp_path):
+        """Kill one of two workers mid-shard: the respawn policy spawns a
+        replacement, the lease protocol re-leases the lost batch, the run
+        completes at full strength, and the bytes still match serial."""
         spec = _sleep_sweep(n_trials=20, sleep=0.02, name="dist-sigkill")
         serial_dir = tmp_path / "serial"
         run_experiment(spec, results_path=serial_dir)
@@ -216,8 +307,11 @@ class TestChaos:
             worker_imports=[str(KERNEL_PATH)],
         )
         killed = {}
+        pool_events = []
 
         def kill_first_worker(event):
+            if event.pool is not None:
+                pool_events.append(event.pool)
             if event.kind == "trial" and event.trials_done >= 3 and not killed:
                 victim = executor.workers[0]
                 victim.send_signal(signal.SIGKILL)
@@ -229,8 +323,70 @@ class TestChaos:
             spec, executor=executor, results_path=dist_dir, progress=kill_first_worker
         )
         assert killed, "the kill hook never fired (run finished too fast?)"
-        assert executor.workers[0].poll() is not None
         assert result.complete
+        # The victim was collected as a death and a replacement was spawned.
+        assert executor.stats["died"] >= 1
+        assert executor.stats["respawned"] >= 1
+        assert killed["pid"] in {worker.pid for worker in executor.died}
+        # The pool history rode on the progress events (observability).
+        assert any(pool["respawned"] >= 1 for pool in pool_events)
+        _assert_byte_identical(serial_dir, dist_dir)
+
+    def test_crash_looping_kernel_exhausts_max_respawns_loudly(self, tmp_path):
+        """A kernel that hard-kills every worker it lands on must burn the
+        respawn budget and fail the run, not respawn workers forever."""
+        spec = ExperimentSpec(
+            campaign="chaos_exit", n_trials=2, seed=0, name="dist-crashloop"
+        )
+        executor = DistributedExecutor(
+            n_workers=1,
+            lease_timeout=0.5,
+            max_respawns=2,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        with pytest.raises(RuntimeError, match="max_respawns=2"):
+            run_experiment(spec, executor=executor, results_path=tmp_path / "out.jsonl")
+        # Initial worker + the two budgeted replacements all died; counting
+        # the third (over-budget) respawn attempt is what raised.
+        assert executor.stats["respawned"] == 3
+        assert executor.stats["died"] == executor.stats["spawned"] == 3
+
+    def test_queue_depth_policy_scales_up_then_retires_idle_workers(self, tmp_path):
+        """Under the queue-depth policy a 1-worker run grows to max_workers
+        while the queue is deep, retires surplus workers as it drains, and
+        still produces byte-identical output."""
+        spec = _sleep_sweep(n_trials=12, sleep=0.05, name="dist-autoscale")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+
+        executor = DistributedExecutor(
+            n_workers=1,
+            lease_timeout=10.0,
+            scale="queue-depth",
+            max_workers=3,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        pool_events = []
+
+        def record_pool(event):
+            if event.pool is not None:
+                pool_events.append(event.pool)
+
+        dist_dir = tmp_path / "dist"
+        result = run_experiment(
+            spec, executor=executor, results_path=dist_dir, progress=record_pool
+        )
+        assert result.complete
+        # Scaled up: 8 pending batches against max_workers=3 means the pool
+        # grew from the single budgeted worker to all three.
+        assert executor.stats["spawned"] >= 3
+        # Scaled down: as pending fell below the pool size, idle workers
+        # were retired through the control channel (clean exits).
+        assert executor.stats["retired"] >= 1
+        assert all(worker.returncode == 0 for worker in executor.retired)
+        assert executor.stats["died"] == 0
+        # The pool history is visible to listeners.
+        assert max(pool["spawned"] for pool in pool_events) >= 3
         _assert_byte_identical(serial_dir, dist_dir)
 
     def test_worker_leaves_and_external_worker_joins_mid_run(self, tmp_path):
@@ -277,7 +433,7 @@ class TestChaos:
         # At least one spawned worker retired cleanly at its 2-task quota
         # (and was replaced); current workers exit cleanly on shutdown.
         assert executor.retired and executor.retired[0].returncode == 0
-        assert executor.workers[0].wait(timeout=10) == 0
+        assert all(worker.wait(timeout=10) == 0 for worker in executor.workers)
         # The external worker joined, did real work, and exits on shutdown.
         proc = external["proc"]
         stderr = proc.communicate(timeout=15)[1]

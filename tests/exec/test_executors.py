@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.exec.checkpoint import campaign_results_path
@@ -270,6 +273,57 @@ class TestResumeUnderFailure:
         )
         for path in sorted(uninterrupted.iterdir()):
             assert (results / path.name).read_bytes() == path.read_bytes()
+
+
+class TestAbort:
+    def test_async_abort_cancels_queued_batches_and_returns_promptly(self):
+        """Closing the async generator mid-run (a raising listener, Ctrl-C)
+        must cancel the batches that have not started yet instead of
+        blocking in ``shutdown(wait=True)`` until every submitted batch
+        finishes."""
+        from repro.exec.distributed import import_worker_module
+
+        import_worker_module(str(Path(__file__).with_name("chaos_kernel.py")))
+        executor = build_executor("async", n_workers=2)
+        # 8 batches of 4 trials x 0.5s each: draining the queue after an
+        # abort would take ~8s on 2 workers; a cancelling close returns as
+        # soon as nothing new is dispatched.
+        spec_dict = {
+            "campaign": "chaos_sleep",
+            "n_trials": 32,
+            "seed": 1,
+            "params": {"sleep": 0.5},
+        }
+        stream = executor.execute([TrialSlice(0, spec_dict, tuple(range(32)))])
+        next(stream)  # at least one batch landed; several are still queued
+        start = time.monotonic()
+        stream.close()  # the abort path: GeneratorExit inside execute()
+        assert time.monotonic() - start < 2.0
+
+    def test_async_kernel_error_does_not_drain_queued_batches(self):
+        """A failing kernel aborts the run; the queued batches are dropped."""
+        from repro.exec.distributed import import_worker_module
+
+        import_worker_module(str(Path(__file__).with_name("chaos_kernel.py")))
+        executor = build_executor("async", n_workers=1)
+        bad = {"campaign": "chaos_error", "n_trials": 1, "seed": 0, "params": {}}
+        slow = {
+            "campaign": "chaos_sleep",
+            "n_trials": 16,
+            "seed": 1,
+            "params": {"sleep": 0.5},
+        }
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="deliberate chaos_error"):
+            list(
+                executor.execute(
+                    [
+                        TrialSlice(0, bad, (0,)),
+                        TrialSlice(1, slow, tuple(range(16))),
+                    ]
+                )
+            )
+        assert time.monotonic() - start < 6.0  # not the ~8s full drain
 
 
 class TestSinkLifecycle:

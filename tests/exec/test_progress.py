@@ -115,6 +115,26 @@ class TestTracker:
         with pytest.raises(ValueError, match="entries"):
             ProgressTracker([2, 2], initial_done=[1])
 
+    def test_pool_counts_ride_on_events_but_not_snapshot(self):
+        """Executor pool state is observable on every event after an update,
+        yet never leaks into the persisted (byte-stable) snapshot."""
+        events = []
+        tracker = ProgressTracker([2], listeners=[events.append])
+        tracker.start()
+        assert events[-1].pool is None
+        pool = {"size": 2, "spawned": 3, "retired": 0, "died": 1, "respawned": 1}
+        tracker.update_pool(pool)
+        tracker.trial_done(0)
+        assert events[-1].pool == pool
+        assert events[-1].pool is not pool  # defensive copy
+        tracker.trial_done(0)
+        tracker.point_completed(0)
+        assert all(e.pool == pool for e in events[2:])  # carried forward
+        assert "pool" not in tracker.snapshot()
+        tracker.update_pool(None)
+        tracker.finish()
+        assert events[-1].pool is None
+
 
 class TestRenderer:
     def test_format_duration(self):
@@ -160,6 +180,22 @@ class TestRenderer:
         tracker.trial_done(0)
         line = format_progress_line(events[-1])
         assert line == "progress: 1/4 trials (25.0%) | points 0/1 | 0.5 trials/s | ETA 6s"
+
+    def test_line_format_renders_pool_lifecycle(self):
+        events = []
+        clock = FakeClock()
+        tracker = ProgressTracker([4], listeners=[events.append], clock=clock)
+        tracker.start()
+        clock.now += 2.0
+        tracker.update_pool({"size": 3, "spawned": 4, "retired": 0, "died": 0, "respawned": 0})
+        tracker.trial_done(0)
+        assert " | pool 3 | " in format_progress_line(events[-1])
+        # Non-zero lifecycle counts ride along; zero ones stay quiet.
+        tracker.update_pool({"size": 2, "spawned": 4, "retired": 1, "died": 1, "respawned": 1})
+        tracker.trial_done(0)
+        assert " | pool 2 (respawned 1, retired 1, died 1) | " in format_progress_line(
+            events[-1]
+        )
 
 
 class TestEngineEmission:
