@@ -1,0 +1,14 @@
+#!/usr/bin/env python
+"""Thin wrapper so the harness is runnable as a script from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_1.json
+
+Equivalent to ``python -m repro bench``; see ``repro.bench.harness``.
+"""
+
+import sys
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

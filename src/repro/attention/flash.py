@@ -3,6 +3,14 @@
 This is the single-kernel, O(n) memory formulation that EFTA extends with
 fault tolerance.  The outer loop walks blocks of query rows; the inner loop
 streams key/value blocks, folding each into the online softmax state.
+
+Two implementations share the entry point: :func:`_flash_single` runs one
+``(seq_len, head_dim)`` slice through :class:`OnlineSoftmaxState` (the scalar
+oracle), and :func:`_flash_stacked` advances *all* leading (batch, head)
+groups through the same tile recurrence with one stacked tensor op per step.
+The stacked path performs the identical float32 operations in the identical
+order, so its output is bitwise equal to running the oracle per group --
+pinned by ``tests/attention/test_standard_and_flash.py``.
 """
 
 from __future__ import annotations
@@ -39,6 +47,50 @@ def _flash_single(
     return out
 
 
+def _flash_stacked(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float,
+    block_size: int,
+    mixed_precision: bool,
+) -> np.ndarray:
+    """All groups of ``(groups, seq_len, head_dim)`` through the tile loop at once.
+
+    Mirrors :meth:`OnlineSoftmaxState.update` / ``finalize`` step for step with
+    a leading group axis; every op is either elementwise, a last-axis
+    reduction, or a stacked GEMM, all of which NumPy evaluates identically to
+    the per-slice forms.
+    """
+    groups, seq_len, head_dim = q.shape
+    kv_len = k.shape[1]
+    out = np.empty((groups, seq_len, head_dim), dtype=np.float32)
+    for row_blk in partition_blocks(seq_len, block_size):
+        q_i = q[:, row_blk]
+        rows = q_i.shape[1]
+        row_max = np.full((groups, rows), -np.inf, dtype=np.float32)
+        row_sum = np.zeros((groups, rows), dtype=np.float32)
+        acc = np.zeros((groups, rows, head_dim), dtype=np.float32)
+        for col_blk in partition_blocks(kv_len, block_size):
+            k_j = k[:, col_blk]
+            v_j = v[:, col_blk]
+            if mixed_precision:
+                scores = fp16_matmul(q_i, k_j.transpose(0, 2, 1)) * np.float32(scale)
+            else:
+                scores = np.matmul(q_i, k_j.transpose(0, 2, 1)).astype(np.float32) * np.float32(scale)
+            local_max = scores.max(axis=2)
+            new_max = np.maximum(row_max, local_max)
+            probs = np.exp(scores - new_max[:, :, None]).astype(np.float32)
+            rescale = np.exp(row_max - new_max).astype(np.float32)
+            rescale = np.where(np.isfinite(rescale), rescale, 0.0).astype(np.float32)
+            row_sum = rescale * row_sum + probs.sum(axis=2, dtype=np.float32)
+            acc = rescale[:, :, None] * acc + np.matmul(probs, v_j)
+            row_max = new_max
+        denom = np.where(row_sum > 0.0, row_sum, 1.0)
+        out[:, row_blk] = (acc / denom[:, :, None]).astype(np.float32)
+    return out
+
+
 def flash_attention(
     q: np.ndarray,
     k: np.ndarray,
@@ -52,13 +104,18 @@ def flash_attention(
     Accepts the same ``(..., seq_len, head_dim)`` layout as
     :func:`repro.attention.standard.standard_attention`; leading dimensions
     are processed independently (one simulated CTA per (batch, head, row
-    block), matching Figure 4).
+    block), matching Figure 4), advanced together by stacked tensor ops.
     """
     q = np.asarray(q, dtype=np.float32)
     k = np.asarray(k, dtype=np.float32)
     v = np.asarray(v, dtype=np.float32)
     if q.shape[:-2] != k.shape[:-2] or q.shape[:-2] != v.shape[:-2]:
         raise ValueError("q, k, v must share leading (batch/head) dimensions")
+    if k.shape[-2] != v.shape[-2]:
+        raise ValueError(
+            f"k and v must share the sequence dimension: k has {k.shape[-2]} "
+            f"rows but v has {v.shape[-2]}"
+        )
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
 
@@ -66,7 +123,5 @@ def flash_attention(
     q2 = q.reshape((-1,) + q.shape[-2:])
     k2 = k.reshape((-1,) + k.shape[-2:])
     v2 = v.reshape((-1,) + v.shape[-2:])
-    out = np.empty_like(q2)
-    for g in range(q2.shape[0]):
-        out[g] = _flash_single(q2[g], k2[g], v2[g], scale, block_size, mixed_precision)
+    out = _flash_stacked(q2, k2, v2, scale, block_size, mixed_precision)
     return out.reshape(lead + q.shape[-2:])

@@ -1,0 +1,21 @@
+"""Trials/sec benchmark harness tracking the engine's performance per PR."""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    default_cases,
+    main,
+    run_benchmark,
+    smoke_cases,
+    validate_bench_payload,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchCase",
+    "default_cases",
+    "main",
+    "run_benchmark",
+    "smoke_cases",
+    "validate_bench_payload",
+]

@@ -80,6 +80,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "spec, a directory of per-point JSONL files for a sweep spec",
     )
     parser.add_argument(
+        "--trial-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trials folded into one batched kernel call where a campaign "
+        "registers a batched kernel (sets REPRO_TRIAL_BATCH, inherited by "
+        "workers; 1 forces the scalar path; default: 16)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="stream plain-text heartbeat lines (trials done, throughput, "
@@ -262,6 +271,17 @@ def _progress_listeners(args: argparse.Namespace):
 def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     spec = _load_spec(parser, args.spec)
     _check_results_path(parser, spec, args.results)
+    if args.trial_batch is not None:
+        import os
+
+        from repro.fault.runner import TRIAL_BATCH_ENV
+
+        if args.trial_batch < 1:
+            parser.error("--trial-batch must be >= 1")
+        # Exported rather than threaded through the executors: pool and
+        # distributed workers inherit the environment, so one knob reaches
+        # every backend.
+        os.environ[TRIAL_BATCH_ENV] = str(args.trial_batch)
     result = run_experiment(
         spec,
         executor=_build_cli_executor(parser, args),
@@ -322,6 +342,12 @@ def cmd_sweep(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             print(campaign.to_json())
         return 0
     return cmd_run(parser, args)
+
+
+def cmd_bench(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.bench.harness import main as bench_main
+
+    return bench_main(args.bench_args)
 
 
 def cmd_list_campaigns(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -573,6 +599,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.set_defaults(handler=cmd_list_campaigns)
 
+    bench = commands.add_parser(
+        "bench",
+        help="measure trials/sec per kernel (scalar vs batched) into BENCH_<n>.json",
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the harness (see `repro bench --help`)",
+    )
+    bench.set_defaults(handler=cmd_bench)
+
     report = commands.add_parser(
         "report", help="re-render finished JSONL results without re-running"
     )
@@ -584,6 +621,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["bench"]:
+        # Forwarded wholesale: the harness owns its argparse surface, and
+        # argparse.REMAINDER mis-parses a leading option (e.g. `bench --smoke`).
+        from repro.bench.harness import main as bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.handler(parser, args)

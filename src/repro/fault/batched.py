@@ -1,0 +1,200 @@
+"""Batched transformer fault-injection trials (the Monte-Carlo hot path).
+
+The scalar ``transformer_inference`` kernel runs one full model forward per
+trial; for the unprotected scheme that forward is a chain of small GEMMs and
+elementwise ops whose cost is dominated by per-call NumPy overhead.  This
+module folds a whole chunk of trials into one tensor program: the trials'
+token batches are stacked along the model's batch axis, every linear layer
+becomes a single stacked-row GEMM, and the attention runs through the
+vectorized :func:`repro.attention.flash.flash_attention` path -- while each
+trial keeps its own :class:`~repro.fault.injector.FaultInjector`, whose
+faults are applied to that trial's rows of the stacked intermediates.
+
+The fast path is byte-identical to the scalar kernel (enforced by
+``tests/fault/test_batched.py``) and deliberately narrow:
+
+* scheme ``"none"`` only -- protected schemes carry verification state
+  (checksum verdicts, report counters) that aggregates over all rows of a
+  GEMM and would mix trials;
+* ``linear`` fault sites only -- attention-site faults need the per-block
+  ``corrupt`` offers of the scheme's own tile loop.
+
+Everything else declines the chunk (returns ``None``) and falls back to the
+scalar oracle, trial by trial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.flash import flash_attention
+from repro.attention.tiling import merge_heads, split_heads
+from repro.fault.runner import register_campaign_batch
+from repro.fp.float16 import fp16_matmul
+
+
+class _BatchFaultRouter:
+    """Routes one stacked ``corrupt`` offer to every trial's own injector.
+
+    The stacked linear intermediates have shape ``(n_trials, rows, out_dim)``
+    with trial ``t`` owning slice ``array[t]`` -- exactly the 2D array the
+    scalar forward would offer, so each injector's element draws, occurrence
+    counting and records are unchanged.
+    """
+
+    def __init__(self, injectors: list):
+        # Offers only reach injectors that still have un-applied faults: a
+        # drained injector's `corrupt` is a no-op by contract (applied
+        # pendings are skipped), so dropping it from the fan-out changes
+        # nothing while removing most of the per-offer Python cost (one
+        # planned fault per trial is the common case).
+        self._active = [(t, inj) for t, inj in enumerate(injectors) if inj.armed]
+
+    def corrupt(self, site, array: np.ndarray, block=None) -> None:
+        if not self._active:
+            return
+        still_armed = []
+        for t, injector in self._active:
+            injector.corrupt(site, array[t], block)
+            if injector.armed:
+                still_armed.append((t, injector))
+        self._active = still_armed
+
+
+def _linear_unprotected(layer, x: np.ndarray, router: _BatchFaultRouter) -> np.ndarray:
+    """Mirror of ``ProtectedLinear.__call__(..., protected=False)`` with the
+    stacked fault router in place of a single injector.
+
+    The trial axis is kept (``(n_trials, seq, dim)``) and the projection runs
+    as a batched-last-two-dims matmul rather than one flattened 2D GEMM: BLAS
+    executes batched matmul slice by slice, so each trial's rows are the very
+    same ``(seq, in_dim) @ (in_dim, out_dim)`` product the scalar forward
+    computes -- bit-identical -- whereas a fused ``(n_trials*seq, in_dim)``
+    GEMM can pick a different kernel blocking for the larger row count and
+    drift in the last bits (observed on the wide ``lm_head`` projection).
+    """
+    from repro.fault.models import FaultSite
+
+    x = np.asarray(x, dtype=np.float32)
+    y = fp16_matmul(x, layer.weight)
+    router.corrupt(FaultSite.LINEAR, y)
+    if layer.bias is not None:
+        y = y + layer.bias
+    return y
+
+
+def _forward_batched_unprotected(model, token_ids: np.ndarray, router: _BatchFaultRouter) -> np.ndarray:
+    """One stacked forward of the scheme-``"none"`` model, returning logits.
+
+    Follows ``TransformerModel.forward`` -> ``TransformerBlock`` ->
+    ``MultiHeadAttention`` / ``FeedForward`` step for step for the
+    unprotected scheme: no checksum verification, no activation clamp, and
+    the attention math is the flash recurrence (bit-identical to
+    ``UnprotectedAttention``, whose non-``linear`` ``corrupt`` offers are
+    no-ops for the linear-site-only faults this path accepts).
+    """
+    x = model.embedding(token_ids)
+    for block in model.blocks:
+        mha = block.attention
+        cfg = mha.attention.config
+        h = block.ln_attn(x)
+        q = _linear_unprotected(mha.q_proj, h, router)
+        k = _linear_unprotected(mha.k_proj, h, router)
+        v = _linear_unprotected(mha.v_proj, h, router)
+        heads = flash_attention(
+            split_heads(q, mha.num_heads),
+            split_heads(k, mha.num_heads),
+            split_heads(v, mha.num_heads),
+            scale=cfg.effective_scale,
+            block_size=cfg.block_size,
+            mixed_precision=True,
+        )
+        x = x + _linear_unprotected(mha.out_proj, merge_heads(heads), router)
+        f = block.ln_ffn(x)
+        hidden = _linear_unprotected(block.ffn.fc_in, f, router)
+        x = x + _linear_unprotected(block.ffn.fc_out, block.ffn.activation(hidden), router)
+    x = model.final_norm(x)
+    return _linear_unprotected(model.lm_head, x, router)
+
+
+@register_campaign_batch("transformer_inference")
+def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
+    """Batched transformer trials: one stacked forward for the whole chunk.
+
+    Per-trial fault planning replays the scalar kernel's exact draw order on
+    each trial's own generator (site, bit, occurrence per fault, then the
+    injector seed), so the resulting records -- and the JSONL checkpoint --
+    are byte-identical to the scalar path.
+    """
+    from repro.fault.campaign import _transformer_fixture
+    from repro.fault.injector import FaultInjector
+    from repro.fault.metrics import TrialOutcome
+    from repro.fault.models import FaultSite, FaultSpec
+
+    model, ids, clean_logits, site_counts = _transformer_fixture(params)
+    sites = params.get("site", "linear")
+    if isinstance(sites, str):
+        sites = [sites]
+    sites = [FaultSite(str(s)) for s in sites]
+    missing = [s.value for s in sites if not site_counts.get(s)]
+    if missing:
+        executed = sorted(s.value for s in site_counts)
+        raise ValueError(
+            f"sites {missing} never execute under scheme "
+            f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
+        )
+    if model.scheme_name != "none" or any(s != FaultSite.LINEAR for s in sites):
+        # Decline before touching any generator: the scalar fallback must see
+        # pristine per-trial streams.
+        return None
+
+    bits = [int(b) for b in params.get("bits", [12, 13, 14])]
+    dtype = str(params.get("dtype", "fp16"))
+    tol = float(params.get("correction_tol", 0.02))
+    use_ber = "bit_error_rate" in params
+    if use_ber:
+        ber = float(params["bit_error_rate"])
+        exposure_bits = 2.0 * model.num_parameters() * ids.shape[1] * 16.0
+
+    injectors = []
+    for rng in rngs:
+        n_faults = int(rng.poisson(ber * exposure_bits)) if use_ber else 1
+        specs = []
+        for _ in range(n_faults):
+            site = sites[int(rng.integers(len(sites)))]
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    bit=bits[int(rng.integers(len(bits)))],
+                    dtype=dtype,
+                    occurrence=int(rng.integers(site_counts[site])),
+                )
+            )
+        injectors.append(FaultInjector(specs=specs, seed=int(rng.integers(2**31))))
+
+    n_trials = len(rngs)
+    token_batch = np.concatenate([ids] * n_trials, axis=0)
+    router = _BatchFaultRouter(injectors)
+    logits = _forward_batched_unprotected(model, token_batch, router)
+
+    denom = max(float(np.abs(clean_logits).max()), 1e-12)
+    # One stacked |faulty - clean| pass; the per-trial max over its own slice
+    # is the same value the scalar kernel's whole-array max produces.
+    deviations = np.abs(logits - clean_logits).reshape(n_trials, -1).max(axis=1)
+    records = []
+    for t, injector in enumerate(injectors):
+        applied = len(injector.records)
+        deviation = float(deviations[t])
+        if not np.isfinite(deviation):
+            deviation = 10.0 * denom
+        rel_err = min(deviation / denom, 10.0)
+        records.append(
+            TrialOutcome(
+                injected=applied,
+                detected=0,  # scheme "none" verifies nothing, ever
+                corrected=applied if rel_err < tol else 0,
+                false_alarm=False,
+                output_rel_error=rel_err if applied else 0.0,
+            ).to_dict()
+        )
+    return records

@@ -25,7 +25,12 @@ from repro.core.snvr import exp_checksum_propagate, strided_products
 from repro.core.strided_abft import StridedABFT, stride_class_counts
 from repro.fault.injector import inject_bit_errors
 from repro.fault.metrics import CampaignResult, TrialOutcome
-from repro.fault.runner import CampaignSpec, register_campaign, run_campaign
+from repro.fault.runner import (
+    CampaignSpec,
+    register_campaign,
+    register_campaign_batch,
+    run_campaign,
+)
 from repro.fp.bitflip import flip_bit
 from repro.fp.float16 import fp16_matmul
 from repro.gemm.checksum import (
@@ -99,6 +104,85 @@ def _abft_error_coverage_trial(rng: np.random.Generator, params: dict) -> dict:
         corrected=corrected_events,
         output_rel_error=rel_err,
     ).to_dict()
+
+
+@register_campaign_batch("abft_error_coverage")
+def _abft_error_coverage_batch(rngs: list, params: dict) -> list[dict]:
+    """Batched coverage trials: the reference GEMM runs once, stacked over trials.
+
+    Each trial draws from its own generator in the scalar kernel's exact
+    order (q, then k, then the event stream), so the records are byte
+    identical to running the scalar kernel per trial; only the reference
+    score GEMM is fused into one stacked tensor op.
+    """
+    scheme = params.get("scheme", "tensor")
+    if scheme not in ("tensor", "element"):
+        raise ValueError("scheme must be 'tensor' or 'element'")
+    bit_error_rate = float(params["bit_error_rate"])
+    rows = int(params.get("rows", 128))
+    cols = int(params.get("cols", 128))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    rtol = float(params.get("rtol", 0.02))
+    atol = 1e-5
+    compute_bits = rows * cols * depth * 2 * 16
+
+    qs = np.stack([rng.standard_normal((rows, depth)).astype(np.float32) for rng in rngs])
+    ks = np.stack([rng.standard_normal((cols, depth)).astype(np.float32) for rng in rngs])
+    references = fp16_matmul(qs, ks.transpose(0, 2, 1))
+    corrupted = references.copy()
+
+    records = []
+    for t, rng in enumerate(rngs):
+        q, k = qs[t], ks[t]
+        reference = references[t]
+        faulty = corrupted[t]
+        if scheme == "tensor":
+            abft = StridedABFT(
+                AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
+            )
+            checksums = abft.score_block_checksums(q, k, scale=1.0)
+        else:
+            ca1, ca2 = encode_column_checksums(q)
+            col_check1 = fp16_matmul(ca1[None, :], k.T)[0]
+            col_check2 = fp16_matmul(ca2[None, :], k.T)[0]
+
+        n_events = max(1, int(rng.poisson(bit_error_rate * compute_bits)))
+        events: list[list[tuple[int, int]]] = []
+        for _ in range(n_events):
+            row = int(rng.integers(rows))
+            start = int(rng.integers(cols))
+            length = int(min(1 + rng.geometric(0.6), stride, cols - start))
+            positions = [(row, start + offset) for offset in range(length)]
+            for pos in positions:
+                bit = int(rng.integers(8, 16))
+                faulty[pos] = flip_bit(float(faulty[pos]), bit, np.float16)
+            events.append(positions)
+
+        if scheme == "tensor":
+            verify_strided_checksums(
+                faulty, checksums.check1, checksums.check2, stride=stride, atol=atol, rtol=rtol
+            )
+        else:
+            verify_column_checksums(faulty, col_check1, col_check2, atol=atol, rtol=rtol)
+
+        noise_floor = rtol * float(np.abs(reference).mean()) * stride
+        corrected_events = 0
+        for positions in events:
+            if all(abs(faulty[pos] - reference[pos]) <= noise_floor for pos in positions):
+                corrected_events += 1
+        rel_err = float(
+            np.max(np.abs(faulty - reference)) / max(np.max(np.abs(reference)), 1e-12)
+        )
+        records.append(
+            TrialOutcome(
+                injected=n_events,
+                detected=n_events,
+                corrected=corrected_events,
+                output_rel_error=rel_err,
+            ).to_dict()
+        )
+    return records
 
 
 def abft_error_coverage(
@@ -234,6 +318,42 @@ def _abft_detection_trial(rng: np.random.Generator, params: dict) -> dict:
     }
 
 
+@register_campaign_batch("abft_detection_sweep")
+def _abft_detection_batch(rngs: list, params: dict) -> list[dict]:
+    """Batched sweep trials: the score GEMM runs once, stacked over trials."""
+    _require_thresholds(params)
+    rows = int(params.get("rows", 64))
+    cols = int(params.get("cols", 64))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
+    abft = StridedABFT(cfg)
+
+    qs = np.stack([rng.standard_normal((rows, depth)).astype(np.float32) for rng in rngs])
+    ks = np.stack([rng.standard_normal((cols, depth)).astype(np.float32) for rng in rngs])
+    scores_batch = fp16_matmul(qs, ks.transpose(0, 2, 1))
+
+    records = []
+    for t, rng in enumerate(rngs):
+        scores = scores_batch[t]
+        checksums = abft.score_block_checksums(qs[t], ks[t], scale=1.0)
+        reference = np.abs(np.asarray(checksums.check1, dtype=np.float64)) + 1e-6
+        clean_res = np.abs(abft.residuals(scores, checksums)) / reference
+
+        corrupted = scores.copy()
+        idx = (int(rng.integers(rows)), int(rng.integers(cols)))
+        bit = int(rng.integers(10, 16))
+        corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
+        faulty_res = np.abs(abft.residuals(corrupted, checksums)) / reference
+        records.append(
+            {
+                "max_clean_residual": _peak_residual(clean_res),
+                "max_faulty_residual": _peak_residual(faulty_res),
+            }
+        )
+    return records
+
+
 def abft_detection_sweep(
     thresholds: list[float],
     n_trials: int = 50,
@@ -299,6 +419,46 @@ def _snvr_detection_trial(rng: np.random.Generator, params: dict) -> dict:
         "max_clean_residual": _peak_residual(clean_dev),
         "max_faulty_residual": _peak_residual(faulty_dev),
     }
+
+
+@register_campaign_batch("snvr_detection_sweep")
+def _snvr_detection_batch(rngs: list, params: dict) -> list[dict]:
+    """Batched sweep trials: score GEMM, max and EXP stacked over trials."""
+    _require_thresholds(params)
+    rows = int(params.get("rows", 64))
+    cols = int(params.get("cols", 64))
+    depth = int(params.get("depth", 64))
+    stride = int(params.get("stride", 8))
+    cfg = AttentionConfig(seq_len=rows, head_dim=depth, checksum_stride=stride)
+    abft = StridedABFT(cfg)
+    scale = cfg.effective_scale
+
+    qs = np.stack([rng.standard_normal((rows, depth)).astype(np.float32) for rng in rngs])
+    ks = np.stack([rng.standard_normal((cols, depth)).astype(np.float32) for rng in rngs])
+    scores_batch = fp16_matmul(qs, ks.transpose(0, 2, 1)) * np.float32(scale)
+    row_max_batch = scores_batch.max(axis=2)
+    probs_batch = np.exp(scores_batch - row_max_batch[:, :, None]).astype(np.float32)
+
+    records = []
+    for t, rng in enumerate(rngs):
+        probs = probs_batch[t]
+        row_max = row_max_batch[t]
+        checksums = abft.score_block_checksums(qs[t], ks[t], scale)
+        p_check = exp_checksum_propagate(checksums.check1, row_max, checksums.class_counts)
+        clean_dev = np.abs(strided_products(probs, stride) - p_check) / np.abs(p_check)
+
+        corrupted = probs.copy()
+        idx = (int(rng.integers(rows)), int(rng.integers(cols)))
+        bit = int(rng.integers(8, 16))
+        corrupted[idx] = flip_bit(float(corrupted[idx]), bit, np.float16)
+        faulty_dev = np.abs(strided_products(corrupted, stride) - p_check) / np.abs(p_check)
+        records.append(
+            {
+                "max_clean_residual": _peak_residual(clean_dev),
+                "max_faulty_residual": _peak_residual(faulty_dev),
+            }
+        )
+    return records
 
 
 def snvr_detection_sweep(
@@ -415,6 +575,95 @@ def _restriction_trial(rng: np.random.Generator, params: dict) -> dict:
         corrected=int(rel_err < 0.02),
         output_rel_error=rel_err,
     ).to_dict()
+
+
+@register_campaign_batch("restriction_error_distribution")
+def _restriction_batch(rngs: list, params: dict) -> list[dict]:
+    """Batched restriction trials: the clean score / softmax / reference
+    pipeline is stacked over trials; the corruption, restriction and the
+    corrupted output GEMM stay per trial (they depend on the injected fault).
+    """
+    method = params.get("method", "selective")
+    if method not in ("selective", "traditional"):
+        raise ValueError("method must be 'selective' or 'traditional'")
+    seq_len = int(params.get("seq_len", 256))
+    head_dim = int(params.get("head_dim", 64))
+    block_size = int(params.get("block_size", 16))
+    peakedness = float(params.get("peakedness", 4.0))
+    n_blocks = -(-seq_len // block_size)
+
+    qs = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    ks = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    vs = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    scale = peakedness / np.sqrt(head_dim)
+    scores_batch = np.matmul(qs, ks.transpose(0, 2, 1)).astype(np.float32) * np.float32(scale)
+    row_max_batch = scores_batch.max(axis=2)
+    probs_batch = np.exp(scores_batch - row_max_batch[:, :, None]).astype(np.float32)
+    rowsum_batch = probs_batch.sum(axis=2)
+    reference_batch = np.matmul(probs_batch / rowsum_batch[:, :, None], vs)
+
+    records = []
+    for t, rng in enumerate(rngs):
+        scores, row_max = scores_batch[t], row_max_batch[t]
+        probs, rowsum = probs_batch[t], rowsum_batch[t]
+        v, reference = vs[t], reference_batch[t]
+
+        block_maxes = np.stack(
+            [scores[:, b * block_size : (b + 1) * block_size].max(axis=1) for b in range(n_blocks)],
+            axis=0,
+        )
+        lower_bound = np.exp(block_maxes - row_max[None, :]).sum(axis=0)
+
+        row = int(rng.integers(seq_len))
+        corrupt_numerator = bool(rng.integers(2))
+        corrupted_probs = probs.copy()
+        corrupted_rowsum = rowsum.copy()
+        detected = False
+        if corrupt_numerator:
+            col = int(rng.integers(seq_len))
+            bit = int(rng.integers(8, 16))
+            corrupted_probs[row, col] = flip_bit(float(probs[row, col]), bit, np.float16)
+            corrupted_rowsum = corrupted_probs.sum(axis=1)
+        else:
+            bit = int(rng.integers(18, 31))
+            corrupted_rowsum[row] = flip_bit(float(rowsum[row]), bit, np.float32)
+
+        if method == "selective":
+            if corrupt_numerator:
+                delta = np.abs(corrupted_probs[row] - probs[row])
+                if np.any(delta > 0.02 * max(float(probs[row].max()), 1e-6)):
+                    detected = True
+                    corrupted_probs[row] = probs[row]
+                    corrupted_rowsum = corrupted_probs.sum(axis=1)
+            else:
+                bad = (
+                    (corrupted_rowsum < lower_bound)
+                    | (corrupted_rowsum > seq_len)
+                    | ~np.isfinite(corrupted_rowsum)
+                )
+                detected = bool(bad[row])
+                corrupted_rowsum = np.where(bad, lower_bound, corrupted_rowsum)
+            normalised = corrupted_probs / corrupted_rowsum[:, None]
+        else:
+            raw = corrupted_probs / corrupted_rowsum[:, None]
+            normalised = np.clip(raw, 0.0, 1.0)
+            detected = bool(np.any(normalised != raw))
+
+        output = normalised @ v
+        denom = max(float(np.abs(reference[row]).max()), 1e-12)
+        abs_err = float(np.abs(output[row] - reference[row]).max())
+        if not np.isfinite(abs_err):
+            abs_err = 10.0 * denom
+        rel_err = min(abs_err / denom, 10.0)
+        records.append(
+            TrialOutcome(
+                injected=1,
+                detected=int(detected),
+                corrected=int(rel_err < 0.02),
+                output_rel_error=rel_err,
+            ).to_dict()
+        )
+    return records
 
 
 def restriction_error_distribution(
@@ -534,11 +783,13 @@ def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
 # --------------------------------------------------------------------------- #
 # Transformer-level campaign: inject during a full TransformerModel forward
 # --------------------------------------------------------------------------- #
-#: Per-worker cache of (model, token ids, clean logits, site counts) fixtures
-#: keyed by the workload parameters; bounded so grid sweeps over many models
-#: stay small.
+#: Per-worker LRU cache of (model, token ids, clean logits, site counts)
+#: fixtures keyed by the workload parameters; bounded so grid sweeps over
+#: many models stay small.  Insertion order doubles as recency order: hits
+#: re-insert the entry at the back, and only the front (least recently used)
+#: entry is evicted when the cache is full.
 _TRANSFORMER_FIXTURES: dict[tuple, tuple] = {}
-_TRANSFORMER_FIXTURE_LIMIT = 8
+_TRANSFORMER_FIXTURE_LIMIT = 16
 
 
 class _SiteProbe:
@@ -584,7 +835,10 @@ def _transformer_fixture(params: dict) -> tuple:
         int(params.get("model_seed", 0)),
     )
     if key in _TRANSFORMER_FIXTURES:
-        return _TRANSFORMER_FIXTURES[key]
+        # Touch: re-insert at the back so round-robin sweeps keep hot entries.
+        fixture = _TRANSFORMER_FIXTURES.pop(key)
+        _TRANSFORMER_FIXTURES[key] = fixture
+        return fixture
     name, scheme, hidden_dim, num_layers, seq_len, block_size, model_seed = key
     config = get_config(name).scaled(hidden_dim=hidden_dim, num_layers=num_layers)
     model = TransformerModel(
@@ -595,8 +849,12 @@ def _transformer_fixture(params: dict) -> tuple:
     )
     probe = _SiteProbe()
     clean_logits = model(ids, injector=probe).logits
-    if len(_TRANSFORMER_FIXTURES) >= _TRANSFORMER_FIXTURE_LIMIT:
-        _TRANSFORMER_FIXTURES.clear()
+    while len(_TRANSFORMER_FIXTURES) >= _TRANSFORMER_FIXTURE_LIMIT:
+        # Evict only the least recently used entry (front of the dict), not
+        # the whole cache: wiping everything made any sweep with more than
+        # `limit` distinct workloads per worker rebuild the model and the
+        # clean-logit oracle on nearly every trial.
+        _TRANSFORMER_FIXTURES.pop(next(iter(_TRANSFORMER_FIXTURES)))
     _TRANSFORMER_FIXTURES[key] = (model, ids, clean_logits, dict(probe.counts))
     return _TRANSFORMER_FIXTURES[key]
 
@@ -681,3 +939,9 @@ def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict
         false_alarm=bool(applied == 0 and output.report.detected_any),
         output_rel_error=rel_err if applied else 0.0,
     ).to_dict()
+
+
+# The batched transformer kernel lives in its own module (it pulls in the
+# whole model stack); importing it here attaches it to the registry entry
+# created above whenever the campaign kernels are loaded.
+from repro.fault import batched as _batched  # noqa: E402,F401  (registration side effect)

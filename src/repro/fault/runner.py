@@ -36,8 +36,9 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -48,7 +49,40 @@ from repro.fault.metrics import CampaignResult, TrialOutcome
 #: A per-trial record: a JSON-serialisable mapping produced by a trial kernel.
 TrialRecord = dict
 TrialFn = Callable[[np.random.Generator, dict], TrialRecord]
+#: A batched trial kernel: runs one chunk of trials (one generator per trial)
+#: and returns the per-trial records in order -- or ``None`` to decline the
+#: chunk (unsupported parameter combination), in which case the scalar kernel
+#: runs trial by trial.  A kernel MUST decide to decline before drawing from
+#: any of the generators, so the scalar fallback sees pristine streams.
+BatchTrialFn = Callable[[Sequence[np.random.Generator], dict], "list[TrialRecord] | None"]
 AggregateFn = Callable[[Sequence[TrialRecord], dict], Any]
+
+#: Trials folded into one batched kernel call when no override is set.
+DEFAULT_TRIAL_BATCH = 16
+
+#: Environment knob for the batch size (inherited by pool / spawned workers).
+TRIAL_BATCH_ENV = "REPRO_TRIAL_BATCH"
+
+
+def trial_batch_size() -> int:
+    """How many trials to fold into one batched kernel call.
+
+    Read from ``REPRO_TRIAL_BATCH`` (``1`` disables batching and forces every
+    trial through the scalar oracle path); defaults to
+    :data:`DEFAULT_TRIAL_BATCH`.
+    """
+    raw = os.environ.get(TRIAL_BATCH_ENV, "").strip()
+    if not raw:
+        return DEFAULT_TRIAL_BATCH
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{TRIAL_BATCH_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{TRIAL_BATCH_ENV} must be >= 1, got {value}")
+    return value
 
 
 # --------------------------------------------------------------------------- #
@@ -148,11 +182,38 @@ def default_aggregate(records: Sequence[TrialRecord], params: dict) -> CampaignR
 
 @dataclass(frozen=True)
 class CampaignDefinition:
-    """A registered campaign: per-trial kernel plus record aggregator."""
+    """A registered campaign: per-trial kernel, record aggregator, and an
+    optional batched kernel that runs a whole chunk of trials as one tensor
+    program (same records, byte for byte, as the scalar kernel)."""
 
     name: str
     trial: TrialFn
     aggregate: AggregateFn = default_aggregate
+    batch: BatchTrialFn | None = None
+
+    def run_batch(
+        self, rngs: Sequence[np.random.Generator], params_json: str
+    ) -> list[TrialRecord]:
+        """Run one chunk of trials, preferring the batched kernel.
+
+        ``params_json`` is the spec's params serialised once by the caller;
+        every kernel invocation gets its own deep copy so a kernel that
+        mutates nested params cannot leak state across trials or chunks.
+        Falls back to the scalar kernel when no batched kernel is registered,
+        when the chunk is a single trial (the oracle path), or when the
+        batched kernel declines the parameter combination by returning
+        ``None``.
+        """
+        if self.batch is not None and len(rngs) > 1:
+            records = self.batch(list(rngs), json.loads(params_json))
+            if records is not None:
+                if len(records) != len(rngs):
+                    raise RuntimeError(
+                        f"batched kernel for campaign {self.name!r} returned "
+                        f"{len(records)} records for {len(rngs)} trials"
+                    )
+                return list(records)
+        return [self.trial(rng, json.loads(params_json)) for rng in rngs]
 
 
 _REGISTRY: dict[str, CampaignDefinition] = {}
@@ -174,6 +235,31 @@ def register_campaign(name: str, aggregate: AggregateFn | None = None) -> Callab
             name=name, trial=trial, aggregate=aggregate or default_aggregate
         )
         return trial
+
+    return decorator
+
+
+def register_campaign_batch(name: str) -> Callable[[BatchTrialFn], BatchTrialFn]:
+    """Decorator attaching a batched kernel to an already-registered campaign.
+
+    ``batch(rngs, params) -> records | None`` receives one generator per
+    trial (the same ``SeedSequence``-derived streams the scalar kernel would
+    see) and must return records byte-identical to running the scalar kernel
+    per trial -- the parity is enforced by ``tests/fault/test_batched.py``.
+    Returning ``None`` declines the chunk (before consuming any generator)
+    and routes it through the scalar kernel.
+    """
+
+    def decorator(batch_fn: BatchTrialFn) -> BatchTrialFn:
+        if name not in _REGISTRY:
+            raise ValueError(
+                f"campaign {name!r} is not registered; register the scalar "
+                "kernel before its batched variant"
+            )
+        if _REGISTRY[name].batch is not None:
+            raise ValueError(f"campaign {name!r} already has a batched kernel")
+        _REGISTRY[name] = replace(_REGISTRY[name], batch=batch_fn)
+        return batch_fn
 
     return decorator
 
@@ -226,12 +312,15 @@ def _iter_trial_records(spec_dict: dict, indices: Sequence[int]):
     # n_trials (see tests/properties/test_property_campaign.py).
     seeds = np.random.SeedSequence(spec.seed).spawn(max(indices) + 1)
     params_json = json.dumps(spec.params)
-    for index in indices:
-        rng = np.random.default_rng(seeds[index])
-        # Every trial gets its own deep copy: a kernel that mutates nested
-        # params must not leak state into later trials of the same batch
-        # (that would make results depend on the sharding).
-        yield index, definition.trial(rng, json.loads(params_json))
+    # Each trial draws from its own generator, so chunking can never change
+    # a trial's stream -- it only decides which trials share a kernel call.
+    chunk = trial_batch_size() if definition.batch is not None else 1
+    items = list(indices)
+    for start in range(0, len(items), chunk):
+        batch_indices = items[start : start + chunk]
+        rngs = [np.random.default_rng(seeds[index]) for index in batch_indices]
+        for index, record in zip(batch_indices, definition.run_batch(rngs, params_json)):
+            yield index, record
 
 
 def _run_trial_batch(spec_dict: dict, indices: Sequence[int]) -> list[tuple[int, TrialRecord]]:

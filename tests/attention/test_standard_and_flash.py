@@ -140,3 +140,47 @@ class TestTilingHelpers:
 
         with pytest.raises(ValueError):
             num_blocks(10, 0)
+
+
+class TestFlashStackedParity:
+    """The stacked flash path must be bitwise equal to the per-slice oracle."""
+
+    SHAPES = [
+        # (lead, seq_len, kv_len, head_dim, block_size)
+        ((), 16, 16, 8, 16),          # single slice, one full block
+        ((1, 2), 16, 16, 8, 4),       # tiny batch, several blocks
+        ((3, 4), 17, 17, 8, 5),       # ragged: seq not a block multiple
+        ((2, 2), 9, 13, 6, 4),        # cross-attention: kv_len != seq_len
+        ((5,), 8, 8, 3, 16),          # block larger than sequence, odd dim
+    ]
+
+    @pytest.mark.parametrize("lead,seq,kv,dim,block", SHAPES)
+    @pytest.mark.parametrize("mixed_precision", [False, True])
+    def test_stacked_bitwise_equals_single(self, rng, lead, seq, kv, dim, block, mixed_precision):
+        from repro.attention.flash import _flash_single
+
+        q = rng.standard_normal(lead + (seq, dim)).astype(np.float32)
+        k = rng.standard_normal(lead + (kv, dim)).astype(np.float32)
+        v = rng.standard_normal(lead + (kv, dim)).astype(np.float32)
+        out = flash_attention(q, k, v, block_size=block, mixed_precision=mixed_precision)
+        scale = 1.0 / np.sqrt(dim)
+        q2 = q.reshape((-1, seq, dim))
+        k2 = k.reshape((-1, kv, dim))
+        v2 = v.reshape((-1, kv, dim))
+        for g in range(q2.shape[0]):
+            oracle = _flash_single(q2[g], k2[g], v2[g], scale, block, mixed_precision)
+            assert np.array_equal(out.reshape((-1, seq, dim))[g], oracle)
+
+    def test_kv_sequence_mismatch_rejected(self, rng):
+        q = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        k = rng.standard_normal((2, 8, 4)).astype(np.float32)
+        v = rng.standard_normal((2, 7, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="share the sequence dimension"):
+            flash_attention(q, k, v)
+
+    def test_kv_sequence_mismatch_rejected_2d(self, rng):
+        q = rng.standard_normal((8, 4)).astype(np.float32)
+        k = rng.standard_normal((6, 4)).astype(np.float32)
+        v = rng.standard_normal((5, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="k has 6 rows but v has 5"):
+            flash_attention(q, k, v)

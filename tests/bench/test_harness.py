@@ -1,0 +1,160 @@
+"""Tests for the trials/sec benchmark harness: schema, gates, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchCase,
+    check_speedups,
+    default_cases,
+    main,
+    run_benchmark,
+    smoke_cases,
+    validate_bench_payload,
+)
+
+#: One micro-case small enough to time for real inside the test suite.
+MICRO = BenchCase(
+    name="abft_error_coverage/micro",
+    campaign="abft_error_coverage",
+    n_trials=4,
+    params={"bit_error_rate": 1e-6, "rows": 16, "cols": 16, "depth": 8},
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmark([MICRO], batch=2, repeats=1)
+
+
+class TestRunBenchmark:
+    def test_payload_passes_schema_validation(self, payload):
+        assert validate_bench_payload(payload) == []
+
+    def test_payload_records_configuration(self, payload):
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["trial_batch"] == 2
+        case = payload["cases"][0]
+        assert case["campaign"] == "abft_error_coverage"
+        assert case["params"] == MICRO.params
+        assert case["scalar"]["seconds"] > 0
+        assert case["batched"]["seconds"] > 0
+        assert case["speedup"] == pytest.approx(
+            case["scalar"]["seconds"] / case["batched"]["seconds"]
+        )
+
+    def test_payload_is_json_serialisable(self, payload):
+        assert json.loads(json.dumps(payload)) == json.loads(json.dumps(payload))
+
+    def test_batch_below_two_rejected(self):
+        with pytest.raises(ValueError, match="batch must be >= 2"):
+            run_benchmark([MICRO], batch=1)
+
+    def test_empty_case_list_rejected(self):
+        with pytest.raises(ValueError, match="no benchmark cases"):
+            run_benchmark([], batch=2)
+
+
+class TestPinnedSuites:
+    def test_default_cases_cover_every_batched_campaign(self):
+        from repro.fault.runner import available_campaigns, get_campaign
+
+        batched = {
+            name for name in available_campaigns() if get_campaign(name).batch is not None
+        }
+        covered = {case.campaign for case in default_cases()}
+        assert batched <= covered
+
+    def test_smoke_cases_are_a_small_subset(self):
+        smoke = smoke_cases()
+        assert 0 < len(smoke) <= len(default_cases())
+        default_total = sum(case.n_trials for case in default_cases())
+        assert sum(case.n_trials for case in smoke) < default_total
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_bench_payload([1, 2]) != []
+
+    def test_rejects_wrong_schema_version(self, payload):
+        bad = json.loads(json.dumps(payload))
+        bad["schema_version"] = 999
+        assert any("schema_version" in p for p in validate_bench_payload(bad))
+
+    @pytest.mark.parametrize("field", ["bench_id", "created", "trial_batch", "host", "cases"])
+    def test_rejects_missing_top_level_field(self, payload, field):
+        bad = json.loads(json.dumps(payload))
+        del bad[field]
+        assert any(field in p for p in validate_bench_payload(bad))
+
+    def test_rejects_empty_cases(self, payload):
+        bad = json.loads(json.dumps(payload))
+        bad["cases"] = []
+        assert any("non-empty" in p for p in validate_bench_payload(bad))
+
+    def test_rejects_nonpositive_timing(self, payload):
+        bad = json.loads(json.dumps(payload))
+        bad["cases"][0]["scalar"]["seconds"] = 0.0
+        assert any("scalar.seconds" in p for p in validate_bench_payload(bad))
+
+
+class TestCheckSpeedups:
+    def _payload(self, speedup):
+        return {
+            "cases": [
+                {"name": "x/none", "campaign": "x", "speedup": speedup},
+            ]
+        }
+
+    def test_passes_when_met(self):
+        assert check_speedups(self._payload(3.4), {"x": 3.0}) == []
+
+    def test_fails_when_below(self):
+        failures = check_speedups(self._payload(2.4), {"x": 3.0})
+        assert failures and "2.40x" in failures[0]
+
+    def test_missing_campaign_is_a_failure(self):
+        failures = check_speedups(self._payload(3.4), {"y": 1.0})
+        assert failures and "no benchmark case" in failures[0]
+
+
+class TestCli:
+    def test_validate_roundtrip(self, payload, tmp_path, capsys):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text(json.dumps(payload))
+        assert main(["--validate", str(path)]) == 0
+        assert "valid BENCH schema" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text("{\"schema_version\": 999}")
+        assert main(["--validate", str(path)]) == 1
+
+    def test_validate_missing_file(self, tmp_path):
+        assert main(["--validate", str(tmp_path / "nope.json")]) == 1
+
+    def test_check_argument_parsing_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--check", "not-a-check"])
+
+    def test_unknown_campaign_filter_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--campaign", "no_such_campaign"])
+
+    def test_end_to_end_writes_and_gates(self, tmp_path, monkeypatch, capsys):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "default_cases", lambda: [MICRO])
+        out = tmp_path / "BENCH_3.json"
+        code = main(
+            ["--out", str(out), "--batch", "2", "--repeats", "1",
+             "--check", "abft_error_coverage:0.01"]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert validate_bench_payload(data) == []
+        assert data["bench_id"] == 3

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -543,3 +544,51 @@ class TestLegacyForwarding:
         assert "python -m repro sweep" in captured.err
         assert "sweep: cli-sweep" in captured.out
         assert results.is_dir()
+
+
+class TestTrialBatchFlag:
+    def test_trial_batch_exported_to_environment(self, campaign_file, tmp_path, monkeypatch):
+        from repro.fault.runner import TRIAL_BATCH_ENV
+
+        monkeypatch.delenv(TRIAL_BATCH_ENV, raising=False)
+        results = tmp_path / "out.jsonl"
+        assert main(
+            ["run", str(campaign_file), "--results", str(results), "--trial-batch", "4"]
+        ) == 0
+        assert os.environ.get(TRIAL_BATCH_ENV) == "4"
+
+    def test_trial_batch_must_be_positive(self, campaign_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(campaign_file), "--trial-batch", "0"])
+        assert "--trial-batch must be >= 1" in capsys.readouterr().err
+
+    def test_batched_run_matches_unbatched_run(self, campaign_file, tmp_path, monkeypatch):
+        from repro.fault.runner import TRIAL_BATCH_ENV
+
+        monkeypatch.delenv(TRIAL_BATCH_ENV, raising=False)
+        scalar = tmp_path / "scalar.jsonl"
+        batched = tmp_path / "batched.jsonl"
+        assert main(["run", str(campaign_file), "--results", str(scalar),
+                     "--trial-batch", "1"]) == 0
+        assert main(["run", str(campaign_file), "--results", str(batched),
+                     "--trial-batch", "4"]) == 0
+        assert batched.read_bytes() == scalar.read_bytes()
+
+
+class TestBenchSubcommand:
+    def test_bench_validate_forwarded(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.harness import BENCH_SCHEMA_VERSION
+
+        bad = tmp_path / "BENCH_0.json"
+        bad.write_text(json.dumps({"schema_version": BENCH_SCHEMA_VERSION}))
+        assert main(["bench", "--validate", str(bad)]) == 1
+        assert "missing or mistyped" in capsys.readouterr().err
+
+    def test_bench_leading_option_reaches_harness(self, capsys):
+        # argparse.REMAINDER would choke on a leading `--smoke`; main()
+        # forwards the raw argv to the harness instead.
+        with pytest.raises(SystemExit):
+            main(["bench", "--help"])
+        assert "BENCH_<n>.json" in capsys.readouterr().out

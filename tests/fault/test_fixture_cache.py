@@ -1,0 +1,67 @@
+"""Regression tests for the per-worker transformer fixture LRU cache.
+
+The original eviction wiped the whole cache (``clear()``) the moment it hit
+its limit, so any sweep visiting more distinct workloads than the limit
+rebuilt the model and its clean-logit oracle on nearly every trial.  The
+cache must instead evict only the least recently used entry, and a hit must
+refresh the entry's recency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.fault.campaign as campaign_module
+from repro.fault.campaign import _transformer_fixture
+
+
+def _params(model_seed: int) -> dict:
+    # Tiny, cheap-to-build workloads distinguished only by the model seed.
+    return {
+        "scheme": "none",
+        "hidden_dim": 16,
+        "num_layers": 1,
+        "seq_len": 8,
+        "model_seed": model_seed,
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    monkeypatch.setattr(campaign_module, "_TRANSFORMER_FIXTURES", {})
+
+
+class TestRoundRobinSweep:
+    def test_nine_workload_round_robin_hits_cache_on_second_pass(self):
+        """A 9-point sweep iterated twice must build each fixture exactly once."""
+        first = [_transformer_fixture(_params(seed)) for seed in range(9)]
+        second = [_transformer_fixture(_params(seed)) for seed in range(9)]
+        for built, fetched in zip(first, second):
+            assert fetched is built  # identity: the cached tuple, not a rebuild
+        assert len(campaign_module._TRANSFORMER_FIXTURES) == 9
+
+
+class TestEviction:
+    def test_only_oldest_entry_is_evicted_at_the_limit(self, monkeypatch):
+        monkeypatch.setattr(campaign_module, "_TRANSFORMER_FIXTURE_LIMIT", 4)
+        built = [_transformer_fixture(_params(seed)) for seed in range(4)]
+        _transformer_fixture(_params(99))  # fifth insert: evicts seed 0 only
+        assert len(campaign_module._TRANSFORMER_FIXTURES) == 4
+        for seed in (1, 2, 3):
+            assert _transformer_fixture(_params(seed)) is built[seed]
+
+    def test_hit_refreshes_recency(self, monkeypatch):
+        monkeypatch.setattr(campaign_module, "_TRANSFORMER_FIXTURE_LIMIT", 2)
+        a = _transformer_fixture(_params(0))
+        _transformer_fixture(_params(1))
+        assert _transformer_fixture(_params(0)) is a  # touch: 0 becomes newest
+        _transformer_fixture(_params(2))  # evicts 1, the least recently used
+        assert _transformer_fixture(_params(0)) is a
+        keys = list(campaign_module._TRANSFORMER_FIXTURES)
+        seeds = sorted(key[-1] for key in keys)
+        assert seeds == [0, 2]
+
+    def test_limit_is_at_least_nine(self):
+        # The fixed round-robin regression above only guards real sweeps if
+        # the production limit covers them.
+        assert campaign_module._TRANSFORMER_FIXTURE_LIMIT >= 9
