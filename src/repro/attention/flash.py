@@ -77,17 +77,21 @@ def _flash_stacked(
             if mixed_precision:
                 scores = fp16_matmul(q_i, k_j.transpose(0, 2, 1)) * np.float32(scale)
             else:
-                scores = np.matmul(q_i, k_j.transpose(0, 2, 1)).astype(np.float32) * np.float32(scale)
+                # Operands are float32 at entry, so the product already is too.
+                scores = np.matmul(q_i, k_j.transpose(0, 2, 1)) * np.float32(scale)
             local_max = scores.max(axis=2)
             new_max = np.maximum(row_max, local_max)
-            probs = np.exp(scores - new_max[:, :, None]).astype(np.float32)
-            rescale = np.exp(row_max - new_max).astype(np.float32)
-            rescale = np.where(np.isfinite(rescale), rescale, 0.0).astype(np.float32)
+            # Everything below stays float32 without casts: the inputs are
+            # float32 and the python-float literals do not promote (NEP 50),
+            # so spelling out .astype(np.float32) would only copy.
+            probs = np.exp(scores - new_max[:, :, None])
+            rescale = np.exp(row_max - new_max)
+            rescale = np.where(np.isfinite(rescale), rescale, 0.0)
             row_sum = rescale * row_sum + probs.sum(axis=2, dtype=np.float32)
             acc = rescale[:, :, None] * acc + np.matmul(probs, v_j)
             row_max = new_max
         denom = np.where(row_sum > 0.0, row_sum, 1.0)
-        out[:, row_blk] = (acc / denom[:, :, None]).astype(np.float32)
+        out[:, row_blk] = acc / denom[:, :, None]
     return out
 
 

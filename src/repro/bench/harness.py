@@ -64,11 +64,38 @@ def default_cases() -> list[BenchCase]:
             n_trials=256,
             params={"scheme": "none", "hidden_dim": 16, "seq_len": 8},
         ),
+        # Protected schemes ride the stacked path too: the fused EFTA kernel
+        # (unified verification -- the paper's headline configuration), and
+        # the decoupled ABFT+DMR baseline.
+        BenchCase(
+            name="transformer_inference/efta_unified",
+            campaign="transformer_inference",
+            n_trials=256,
+            params={"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8},
+        ),
+        BenchCase(
+            name="transformer_inference/decoupled",
+            campaign="transformer_inference",
+            n_trials=128,
+            params={"scheme": "decoupled", "hidden_dim": 16, "seq_len": 8},
+        ),
         BenchCase(
             name="abft_error_coverage/tensor",
             campaign="abft_error_coverage",
             n_trials=128,
             params={"bit_error_rate": 1e-7, "rows": 64, "cols": 64, "depth": 32},
+        ),
+        BenchCase(
+            name="abft_error_coverage/element",
+            campaign="abft_error_coverage",
+            n_trials=128,
+            params={
+                "scheme": "element",
+                "bit_error_rate": 1e-7,
+                "rows": 64,
+                "cols": 64,
+                "depth": 32,
+            },
         ),
         BenchCase(
             name="abft_detection_sweep",
@@ -88,8 +115,9 @@ def default_cases() -> list[BenchCase]:
             n_trials=64,
             params={"method": "selective", "seq_len": 128, "head_dim": 32, "block_size": 16},
         ),
-        # No batched kernel exists for the fused protected kernel; this case
-        # tracks the scalar baseline (speedup ~1.0 by construction).
+        # This campaign drives the EFTA kernel directly (no transformer
+        # around it) and has no batched trial kernel; the case tracks the
+        # scalar baseline (speedup ~1.0 by construction).
         BenchCase(
             name="efta_site_resilience/gemm_qk",
             campaign="efta_site_resilience",
@@ -100,13 +128,19 @@ def default_cases() -> list[BenchCase]:
 
 
 def smoke_cases() -> list[BenchCase]:
-    """A tiny two-case configuration for the CI ``bench-smoke`` job."""
+    """A tiny three-case configuration for the CI ``bench-smoke`` job."""
     return [
         BenchCase(
             name="transformer_inference/none",
             campaign="transformer_inference",
             n_trials=64,
             params={"scheme": "none", "hidden_dim": 16, "seq_len": 8},
+        ),
+        BenchCase(
+            name="transformer_inference/efta_unified",
+            campaign="transformer_inference",
+            n_trials=64,
+            params={"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8},
         ),
         BenchCase(
             name="abft_error_coverage/tensor",

@@ -14,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import AttentionConfig, FaultToleranceReport
-from repro.core.dmr import dmr_row_softmax
-from repro.core.traditional_abft import protected_matmul
+from repro.core.dmr import dmr_row_softmax, dmr_row_softmax_stacked
+from repro.core.traditional_abft import protected_matmul, protected_matmul_stacked
 from repro.fault.injector import FaultInjector
 from repro.fault.models import FaultSite
 from repro.hardware.costmodel import AttentionCostModel, AttentionWorkload, CostBreakdown
@@ -80,6 +80,69 @@ class DecoupledFTAttention:
         return out.reshape(lead + q.shape[-2:]), report
 
     __call__ = forward
+
+    def forward_batched(self, q, k, v, router):
+        """Stacked-trial mirror of :meth:`forward` (no HBM tracking).
+
+        The two ABFT GEMMs and both softmax executions run stacked over the
+        trial axis; checksum encodes, verification and any DMR retries stay
+        per trial on slice views, so every trial's output slice and report
+        counters are bitwise the scalar ones.  Returns ``(out, reports)``
+        with one report per trial; the reports' ``injected`` lists are left
+        empty (the caller owns the per-trial injectors).
+        """
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if q.shape[:-2] != k.shape[:-2] or q.shape[:-2] != v.shape[:-2]:
+            raise ValueError("q, k, v must share leading dimensions")
+        n_trials = q.shape[0]
+        q2 = q.reshape((n_trials, -1) + q.shape[-2:])
+        k2 = k.reshape((n_trials, -1) + k.shape[-2:])
+        v2 = v.reshape((n_trials, -1) + v.shape[-2:])
+        reports = [FaultToleranceReport() for _ in range(n_trials)]
+        out = np.empty_like(q2)
+        scale = self.config.effective_scale
+        for g in range(q2.shape[1]):
+            out[:, g] = self._forward_single_stacked(
+                q2[:, g], k2[:, g], v2[:, g], scale, router, reports
+            )
+        return out.reshape(q.shape), reports
+
+    def _forward_single_stacked(self, q, k, v, scale, router, reports):
+        scores, verdicts_qk = protected_matmul_stacked(
+            q,
+            np.swapaxes(k, -1, -2),
+            router,
+            scale=scale,
+            site=FaultSite.GEMM_QK,
+            atol=self.config.checksum_atol,
+            rtol=self.config.score_checksum_rtol,
+        )
+        for report, verdict in zip(reports, verdicts_qk):
+            report.record_detection("gemm_qk", verdict.detected)
+            report.record_correction("gemm_qk", verdict.corrected)
+            report.record_uncorrectable("gemm_qk", verdict.uncorrectable)
+
+        probs, stats_list = dmr_row_softmax_stacked(scores, router)
+        for report, stats in zip(reports, stats_list):
+            report.record_detection("softmax", stats["detected"])
+            report.record_recomputation("softmax", stats["rounds"])
+
+        out, verdicts_pv = protected_matmul_stacked(
+            probs,
+            v,
+            router,
+            scale=1.0,
+            site=FaultSite.GEMM_PV,
+            atol=self.config.checksum_atol,
+            rtol=self.config.output_checksum_rtol,
+        )
+        for report, verdict in zip(reports, verdicts_pv):
+            report.record_detection("gemm_pv", verdict.detected)
+            report.record_correction("gemm_pv", verdict.corrected)
+            report.record_uncorrectable("gemm_pv", verdict.uncorrectable)
+        return out
 
     # ------------------------------------------------------------------ #
     def _forward_single(

@@ -64,3 +64,63 @@ def dmr_row_softmax(
         stats["rounds"] += 1
         current = stable_softmax(scores, axis=-1)
     return current, stats
+
+
+def dmr_row_softmax_stacked(
+    scores: np.ndarray,
+    router,
+    tolerance: float = 1e-3,
+    max_rounds: int = 3,
+) -> tuple[np.ndarray, list[dict[str, int]]]:
+    """:func:`dmr_row_softmax` over a stacked ``(trials, rows, cols)`` tensor.
+
+    Both softmax executions and the agreement comparison run once over the
+    stack (row softmax and the elementwise checks are per-slice bitwise equal
+    to the 2D versions).  Trials whose duplicate agrees and whose row sums
+    hold get the scalar routine's zero stats without further work; a flagged
+    trial replays the scalar retry loop on its own slice -- starting from the
+    already-offered primary, so the injector is not consulted again -- and its
+    recomputed softmaxes are the scalar recomputations bit for bit.
+
+    ``router`` fans the single :data:`FaultSite.SOFTMAX` offer out to every
+    trial's injector on its own slice (same array shape as the scalar offer).
+    """
+    scores = np.asarray(scores, dtype=np.float32)
+    n_trials = scores.shape[0]
+    primary = stable_softmax(scores, axis=-1)
+    router.corrupt(FaultSite.SOFTMAX, primary)
+    reference = stable_softmax(scores, axis=-1)
+
+    diff = np.abs(primary - reference)
+    within = diff <= tolerance * np.maximum(np.abs(reference), 1e-6)
+    ok = within.reshape(n_trials, -1).all(axis=1)
+    rowsums = primary.sum(axis=-1)
+    violation_counts = (np.abs(rowsums - 1.0) > tolerance).reshape(n_trials, -1).sum(axis=1)
+
+    out = primary
+    stats_list: list[dict[str, int]] = []
+    for t in range(n_trials):
+        stats = {"rounds": 0, "detected": 0, "rowsum_violations": 0}
+        if ok[t] and not violation_counts[t]:
+            stats_list.append(stats)
+            continue
+        current = primary[t]
+        ref = reference[t]
+        for _ in range(max_rounds):
+            d = np.abs(current - ref)
+            if np.all(d <= tolerance * np.maximum(np.abs(ref), 1e-6)):
+                break
+            stats["detected"] = 1
+            stats["rounds"] += 1
+            current = ref
+            ref = stable_softmax(scores[t], axis=-1)
+        rs = current.sum(axis=-1)
+        n_violations = int(np.count_nonzero(np.abs(rs - 1.0) > tolerance))
+        if n_violations:
+            stats["detected"] = 1
+            stats["rowsum_violations"] = n_violations
+            stats["rounds"] += 1
+            current = stable_softmax(scores[t], axis=-1)
+        out[t] = current
+        stats_list.append(stats)
+    return out, stats_list

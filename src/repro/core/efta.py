@@ -29,8 +29,13 @@ import numpy as np
 
 from repro.attention.tiling import partition_blocks
 from repro.core.config import AttentionConfig, FaultToleranceReport
-from repro.core.snvr import exp_checksum_propagate, restrict_rowsum, verify_exp_products
-from repro.core.strided_abft import StridedABFT
+from repro.core.snvr import (
+    exp_checksum_propagate,
+    restrict_rowsum,
+    restrict_rowsum_stacked,
+    verify_exp_products,
+)
+from repro.core.strided_abft import BlockChecksums, StridedABFT
 from repro.fault.injector import FaultInjector
 from repro.fault.models import FaultSite
 from repro.fp.float16 import fp16_matmul
@@ -42,6 +47,14 @@ from repro.hardware.specs import A100_PCIE_40GB, GPUSpec
 #: accumulated magnitude; 0.04 * output_checksum_rtol (0.05) puts the floor at
 #: 2e-3 of it -- above round-off, below any consequential fault.
 _OUTPUT_MAGNITUDE_FLOOR = 0.04
+
+
+def _record_stacked_verdicts(stage: str, verdicts, reports) -> None:
+    """Copy one per-trial verdict list into the matching per-trial reports."""
+    for report, verdict in zip(reports, verdicts):
+        report.record_detection(stage, verdict.detected)
+        report.record_correction(stage, verdict.corrected)
+        report.record_uncorrectable(stage, verdict.uncorrectable)
 
 
 class EFTAttention:
@@ -89,6 +102,41 @@ class EFTAttention:
         return out.reshape(lead + q.shape[-2:]), report
 
     __call__ = forward
+
+    def forward_batched(self, q, k, v, router):
+        """Stacked-trial mirror of :meth:`forward`: one more leading axis.
+
+        ``q``/``k``/``v`` carry a leading *trial* axis; ``router`` fans each
+        ``corrupt`` offer out to every trial's own injector on its slice.  The
+        tile recurrence, the checksum propagation and the verification all
+        keep the trial axis (batched-last-two-dims matmuls, last-axis
+        reductions), so every per-trial slice of every intermediate -- and the
+        per-trial report counters -- are bitwise what :meth:`forward` produces
+        for that trial alone.  Verification *detection* runs stacked; only
+        flagged trials fall back to the scalar repair path on slice views.
+
+        Returns ``(out, reports)`` with one report per trial.  The reports'
+        ``injected`` lists are left empty (the caller owns the per-trial
+        injectors and their records).
+        """
+        q = np.asarray(q, dtype=np.float32)
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if q.shape[:-2] != k.shape[:-2] or q.shape[:-2] != v.shape[:-2]:
+            raise ValueError("q, k, v must share leading dimensions")
+        if q.shape[-1] != k.shape[-1]:
+            raise ValueError("q and k must share the head dimension")
+        n_trials = q.shape[0]
+        q2 = q.reshape((n_trials, -1) + q.shape[-2:])
+        k2 = k.reshape((n_trials, -1) + k.shape[-2:])
+        v2 = v.reshape((n_trials, -1) + v.shape[-2:])
+        reports = [FaultToleranceReport() for _ in range(n_trials)]
+        out = np.empty_like(q2)
+        for g in range(q2.shape[1]):
+            out[:, g] = self._forward_single_stacked(
+                q2[:, g], k2[:, g], v2[:, g], router, reports
+            )
+        return out.reshape(q.shape), reports
 
     def cost_breakdown(self, batch: int, heads: int) -> CostBreakdown:
         """Simulated (roofline) cost of EFTA for a full multi-head workload."""
@@ -235,6 +283,116 @@ class EFTAttention:
         return out
 
     # ------------------------------------------------------------------ #
+    # Fused kernel, stacked over a leading trial axis
+    # ------------------------------------------------------------------ #
+    def _forward_single_stacked(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        router,
+        reports: list[FaultToleranceReport],
+    ) -> np.ndarray:
+        """:meth:`_forward_single` with a ``(trials, seq, head_dim)`` stack.
+
+        Byte-parity rules: the trial axis is never flattened into a GEMM's
+        row dimension (a fused 2D GEMM can pick a different kernel blocking
+        and drift in the last bits); reductions stay on the last axis; the
+        router sees the exact ``corrupt`` offer sequence of the scalar loop.
+        """
+        cfg = self.config
+        scale = cfg.effective_scale
+        stride = cfg.checksum_stride
+        trials, seq_len, head_dim = q.shape
+        out = np.empty((trials, seq_len, head_dim), dtype=np.float32)
+
+        v_checks = []
+        v_abs_c1 = []
+        for col_blk in partition_blocks(k.shape[1], cfg.block_size):
+            v_checks.append(self.abft.encode_value_checksums(v[:, col_blk]))
+            v_abs_c1.append(self.abft.encode_value_checksums(np.abs(v[:, col_blk]))[0])
+
+        for i, row_blk in enumerate(partition_blocks(seq_len, cfg.block_size)):
+            q_i = q[:, row_blk]
+            rows = q_i.shape[1]
+            row_max = np.full((trials, rows), -np.inf, dtype=np.float32)
+            row_sum = np.zeros((trials, rows), dtype=np.float32)
+            acc = np.zeros((trials, rows, head_dim), dtype=np.float32)
+            acc_c1 = np.zeros((trials, rows, stride), dtype=np.float32)
+            acc_c2 = np.zeros((trials, rows, stride), dtype=np.float32)
+            acc_mag = np.zeros((trials, rows, stride), dtype=np.float32)
+            block_maxes: list[np.ndarray] = []
+
+            for j, col_blk in enumerate(partition_blocks(k.shape[1], cfg.block_size)):
+                k_j = k[:, col_blk]
+                v_j = v[:, col_blk]
+                block = (i, j)
+
+                score_chk = self.abft.score_block_checksums(q_i, k_j, scale)
+                v_c1, v_c2 = v_checks[j]
+
+                scores = fp16_matmul(q_i, np.swapaxes(k_j, -1, -2)) * np.float32(scale)
+                router.corrupt(FaultSite.GEMM_QK, scores, block=block)
+
+                local_max = scores.max(axis=-1)
+                new_max = np.maximum(row_max, local_max)
+                router.corrupt(FaultSite.REDUCE_MAX, new_max, block=block)
+
+                probs = np.exp(scores - new_max[..., None]).astype(np.float32)
+                router.corrupt(FaultSite.SUBTRACT_EXP, probs, block=block)
+
+                probs, new_max, local_max = self._verify_exp_stage_stacked(
+                    scores, probs, row_max, new_max, local_max, score_chk, reports
+                )
+
+                rescale = np.where(
+                    np.isfinite(row_max), np.exp(row_max - new_max), 0.0
+                ).astype(np.float32)
+                new_sum = rescale * row_sum + probs.sum(axis=-1, dtype=np.float32)
+                router.corrupt(FaultSite.REDUCE_SUM, new_sum, block=block)
+                block_maxes.append(local_max)
+                if not self.unified_verification:
+                    new_sum = self._restrict_rowsum_stacked(
+                        new_sum, block_maxes, new_max, (j + 1) * cfg.block_size, reports
+                    )
+                row_sum = new_sum
+
+                acc_scaled = rescale[..., None] * acc
+                router.corrupt(FaultSite.RESCALE, acc_scaled, block=block)
+                acc = acc_scaled + fp16_matmul(probs, v_j)
+                router.corrupt(FaultSite.GEMM_PV, acc, block=block)
+                acc_c1 = rescale[..., None] * acc_c1 + fp16_matmul(probs, v_c1)
+                acc_c2 = rescale[..., None] * acc_c2 + fp16_matmul(probs, v_c2)
+                acc_mag = rescale[..., None] * acc_mag + fp16_matmul(probs, v_abs_c1[j])
+
+                if not self.unified_verification:
+                    verdicts = self.abft.verify_output_stacked(
+                        acc, acc_c1, acc_c2, magnitude=_OUTPUT_MAGNITUDE_FLOOR * acc_mag
+                    )
+                    _record_stacked_verdicts("gemm_pv", verdicts, reports)
+
+                row_max = new_max
+
+            row_sum = self._restrict_rowsum_stacked(
+                row_sum, block_maxes, row_max, k.shape[1], reports
+            )
+
+            denom = np.where(row_sum > 0.0, row_sum, 1.0).astype(np.float32)
+            o_block = acc / denom[..., None]
+            router.corrupt(FaultSite.NORMALIZE, o_block, block=(i, -1))
+            acc_c1 = acc_c1 / denom[..., None]
+            acc_c2 = acc_c2 / denom[..., None]
+
+            verdicts = self.abft.verify_output_stacked(
+                o_block, acc_c1, acc_c2,
+                magnitude=_OUTPUT_MAGNITUDE_FLOOR * acc_mag / denom[..., None],
+            )
+            _record_stacked_verdicts("output", verdicts, reports)
+
+            out[:, row_blk] = o_block
+        return out
+
+    # ------------------------------------------------------------------ #
     # Protection helpers
     # ------------------------------------------------------------------ #
     def _verify_exp_stage(
@@ -325,4 +483,75 @@ class EFTAttention:
         if n_restored:
             report.record_detection("rowsum", n_restored)
             report.record_restoration("rowsum", n_restored)
+        return restricted
+
+    def _verify_exp_stage_stacked(
+        self,
+        scores: np.ndarray,
+        probs: np.ndarray,
+        prev_max: np.ndarray,
+        new_max: np.ndarray,
+        local_max: np.ndarray,
+        score_chk: BlockChecksums,
+        reports: list[FaultToleranceReport],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked EXP/GEMM-I verification: detect once, repair per trial.
+
+        The propagated checksum and the strided-product comparison are
+        elementwise over the stack, so one pass computes every trial's ``bad``
+        and ``degenerate`` masks -- bitwise the scalar masks per slice.
+        Unflagged trials take the scalar early return (nothing touched).  Each
+        flagged trial re-runs :meth:`_verify_exp_stage` on slice *views*, so
+        the in-place score correction, the max/probs recomputation and the
+        report bookkeeping are exactly the scalar path's, landing in the
+        stacked arrays.
+        """
+        cfg = self.config
+        stride = cfg.checksum_stride
+        p_check = exp_checksum_propagate(
+            score_chk.check1, new_max, score_chk.class_counts
+        )
+        bad = verify_exp_products(
+            probs, p_check, stride, rtol=cfg.exp_product_rtol, atol=cfg.exp_product_atol
+        )
+        degenerate = p_check == 0.0
+        n_trials = scores.shape[0]
+        flagged = (bad | degenerate).reshape(n_trials, -1).any(axis=1)
+        if not flagged.any():
+            return probs, new_max, local_max
+        for t in np.nonzero(flagged)[0]:
+            chk_t = BlockChecksums(
+                check1=score_chk.check1[t],
+                check2=score_chk.check2[t],
+                class_counts=score_chk.class_counts,
+            )
+            p_t, nm_t, lm_t = self._verify_exp_stage(
+                scores[t], probs[t], prev_max[t], new_max[t], local_max[t], chk_t,
+                reports[t],
+            )
+            probs[t] = p_t
+            new_max[t] = nm_t
+            local_max[t] = lm_t
+        return probs, new_max, local_max
+
+    def _restrict_rowsum_stacked(
+        self,
+        row_sum: np.ndarray,
+        block_maxes: list[np.ndarray],
+        row_max: np.ndarray,
+        attended_positions: int,
+        reports: list[FaultToleranceReport],
+    ) -> np.ndarray:
+        """SNVR case 3 over the trial stack; counts recorded per trial."""
+        if not block_maxes:
+            return row_sum
+        stacked = np.stack(block_maxes, axis=0)
+        lower = np.exp(stacked - row_max[None, ...]).sum(axis=0).astype(np.float32)
+        upper = float(min(attended_positions, self.config.seq_len))
+        restricted, counts = restrict_rowsum_stacked(row_sum, lower, upper)
+        for report, count in zip(reports, counts):
+            n_restored = int(count)
+            if n_restored:
+                report.record_detection("rowsum", n_restored)
+                report.record_restoration("rowsum", n_restored)
         return restricted

@@ -40,7 +40,10 @@ def exp_checksum_propagate(
     score_check = np.asarray(score_check, dtype=np.float64)
     row_max = np.asarray(row_max, dtype=np.float64)
     counts = np.asarray(class_counts, dtype=np.float64)
-    return np.exp(score_check - counts[None, :] * row_max[:, None])
+    # ``counts * row_max[..., None]`` broadcasts over any leading dims (a
+    # stacked trial axis included) and is elementwise identical to the 2D
+    # ``counts[None, :] * row_max[:, None]`` form per slice.
+    return np.exp(score_check - counts * row_max[..., None])
 
 
 def strided_products(p_block: np.ndarray, stride: int) -> np.ndarray:
@@ -50,12 +53,14 @@ def strided_products(p_block: np.ndarray, stride: int) -> np.ndarray:
     ``prod_l P[i, c + l*stride]`` (missing tail elements contribute 1).
     """
     p = np.asarray(p_block, dtype=np.float64)
-    rows, cols = p.shape
+    cols = p.shape[-1]
     groups = -(-cols // stride)
-    out = np.ones((rows, stride), dtype=np.float64)
+    # Leading dims (a stacked trial axis) pass through: the per-group product
+    # accumulation is elementwise, so stacked slices match the 2D results.
+    out = np.ones(p.shape[:-1] + (stride,), dtype=np.float64)
     for l in range(groups):
-        chunk = p[:, l * stride : (l + 1) * stride]
-        out[:, : chunk.shape[1]] *= chunk
+        chunk = p[..., l * stride : (l + 1) * stride]
+        out[..., : chunk.shape[-1]] *= chunk
     return out
 
 
@@ -106,6 +111,29 @@ def restrict_rowsum(
     restored = rowsum.copy()
     restored[bad] = lower[bad]
     return restored, int(bad.sum())
+
+
+def restrict_rowsum_stacked(
+    rowsum: np.ndarray,
+    lower_bound: np.ndarray,
+    upper_bound: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Range-restrict a stacked ``(trials, rows)`` normaliser per trial.
+
+    Same math as :func:`restrict_rowsum` applied once over the stack; returns
+    the restricted array and the per-trial restoration counts.  Per-trial
+    slices are bitwise what the scalar routine produces on that slice (the
+    comparisons and the lower-bound substitution are elementwise).
+    """
+    rowsum = np.asarray(rowsum, dtype=np.float32)
+    lower = np.maximum(np.asarray(lower_bound, dtype=np.float32), np.finfo(np.float32).tiny)
+    bad = (rowsum < lower) | (rowsum > np.float32(upper_bound)) | ~np.isfinite(rowsum)
+    counts = bad.reshape(rowsum.shape[0], -1).sum(axis=1)
+    if not bad.any():
+        return rowsum, counts
+    restored = rowsum.copy()
+    restored[bad] = lower[bad]
+    return restored, counts
 
 
 def traditional_restriction(

@@ -27,6 +27,7 @@ from repro.gemm.checksum import (
     encode_strided_row_checksums,
     strided_sums,
     verify_strided_checksums,
+    verify_strided_checksums_stacked,
 )
 
 
@@ -58,7 +59,7 @@ class BlockChecksums:
     @property
     def stride(self) -> int:
         """Checksum width (number of stride classes)."""
-        return self.check1.shape[1]
+        return self.check1.shape[-1]
 
 
 class StridedABFT:
@@ -74,10 +75,13 @@ class StridedABFT:
     def encode_key_checksums(self, k_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Tensor checksums of ``K_j^T`` (fold the block's rows, i.e. score columns).
 
-        ``k_block`` has shape ``(B_c, d)``; the returned checksums have shape
-        ``(d, stride)`` and satisfy Equations (12)-(13).
+        ``k_block`` has shape ``(B_c, d)`` -- or ``(..., B_c, d)`` for a
+        stacked trial axis -- and the returned checksums have shape
+        ``(..., d, stride)``, satisfying Equations (12)-(13) per slice.
         """
-        return encode_strided_row_checksums(np.asarray(k_block).T, self.stride)
+        return encode_strided_row_checksums(
+            np.swapaxes(np.asarray(k_block), -1, -2), self.stride
+        )
 
     def encode_value_checksums(self, v_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Tensor checksums of ``V_j`` folded along the head dimension.
@@ -95,7 +99,7 @@ class StridedABFT:
         k_check1, k_check2 = self.encode_key_checksums(k_block)
         s_c1 = fp16_matmul(q_block, k_check1) * np.float32(scale)
         s_c2 = fp16_matmul(q_block, k_check2) * np.float32(scale)
-        counts = stride_class_counts(int(np.asarray(k_block).shape[0]), self.stride)
+        counts = stride_class_counts(int(np.asarray(k_block).shape[-2]), self.stride)
         return BlockChecksums(check1=s_c1, check2=s_c2, class_counts=counts)
 
     # ------------------------------------------------------------------ #
@@ -128,6 +132,30 @@ class StridedABFT:
         cancelled value and FP16 round-off could false-alarm.
         """
         return verify_strided_checksums(
+            o_block,
+            o_check1,
+            o_check2,
+            stride=self.stride,
+            atol=self.config.checksum_atol,
+            rtol=self.config.output_checksum_rtol if rtol is None else rtol,
+            magnitude=magnitude,
+        )
+
+    def verify_output_stacked(
+        self,
+        o_block: np.ndarray,
+        o_check1: np.ndarray,
+        o_check2: np.ndarray,
+        rtol: float | None = None,
+        magnitude: np.ndarray | None = None,
+    ) -> list[ChecksumVerdict]:
+        """Per-trial :meth:`verify_output` over a stacked ``(trials, ...)`` block.
+
+        Detection is one stacked pass; flagged trials correct in place through
+        slice views of ``o_block`` (see
+        :func:`repro.gemm.checksum.verify_strided_checksums_stacked`).
+        """
+        return verify_strided_checksums_stacked(
             o_block,
             o_check1,
             o_check2,

@@ -80,3 +80,58 @@ def protected_matmul(
     verdict = verify_column_checksums(c, c_col1, c_col2, atol=atol, rtol=rtol)
     verdict.merge(verify_row_checksums(c, c_row1, c_row2, atol=atol, rtol=rtol))
     return c, verdict
+
+
+def protected_matmul_stacked(
+    a: np.ndarray,
+    b: np.ndarray,
+    router,
+    scale: float = 1.0,
+    site: FaultSite = FaultSite.GEMM_QK,
+    atol: float = 1e-3,
+    rtol: float = 0.02,
+    mixed_precision: bool = True,
+) -> tuple[np.ndarray, list[ChecksumVerdict]]:
+    """:func:`protected_matmul` over a stacked ``(trials, m, k)`` batch.
+
+    The product runs as one batched-last-two-dims matmul (each trial's slice
+    is bitwise the scalar 2-D product); the checksum encodings, checksum
+    products and the verification stay per trial, in the scalar call order,
+    on slice views -- so in-place corrections land in the stacked product and
+    every verdict matches the scalar one.  ``router`` fans the single
+    post-GEMM ``corrupt`` offer out to each trial's injector on its slice.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError("protected_matmul_stacked expects (trials, m, k) operands")
+    if a.shape[-1] != b.shape[-2] or a.shape[0] != b.shape[0]:
+        raise ValueError(f"stacked dimensions disagree: {a.shape} @ {b.shape}")
+
+    matmul = fp16_matmul if mixed_precision else lambda x, y: np.matmul(x, y).astype(np.float32)
+
+    c = matmul(a, b) * np.float32(scale)
+    # The checksum vectors depend on the per-trial operands; encoding and the
+    # (1 x k) / (k x 1) checksum products are the scalar calls on slice views.
+    # They are computed before the corrupt offer, like the scalar routine.
+    checks = []
+    for t in range(a.shape[0]):
+        ca1, ca2 = encode_column_checksums(a[t])
+        br1, br2 = encode_row_checksums(b[t])
+        checks.append(
+            (
+                matmul(ca1[None, :], b[t])[0] * np.float32(scale),
+                matmul(ca2[None, :], b[t])[0] * np.float32(scale),
+                matmul(a[t], br1[:, None])[:, 0] * np.float32(scale),
+                matmul(a[t], br2[:, None])[:, 0] * np.float32(scale),
+            )
+        )
+
+    router.corrupt(site, c)
+
+    verdicts = []
+    for t, (c_col1, c_col2, c_row1, c_row2) in enumerate(checks):
+        verdict = verify_column_checksums(c[t], c_col1, c_col2, atol=atol, rtol=rtol)
+        verdict.merge(verify_row_checksums(c[t], c_row1, c_row2, atol=atol, rtol=rtol))
+        verdicts.append(verdict)
+    return c, verdicts

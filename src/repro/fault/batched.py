@@ -1,34 +1,44 @@
 """Batched transformer fault-injection trials (the Monte-Carlo hot path).
 
 The scalar ``transformer_inference`` kernel runs one full model forward per
-trial; for the unprotected scheme that forward is a chain of small GEMMs and
-elementwise ops whose cost is dominated by per-call NumPy overhead.  This
-module folds a whole chunk of trials into one tensor program: the trials'
-token batches are stacked along the model's batch axis, every linear layer
-becomes a single stacked-row GEMM, and the attention runs through the
-vectorized :func:`repro.attention.flash.flash_attention` path -- while each
+trial; that forward is a chain of small GEMMs and elementwise ops whose cost
+is dominated by per-call NumPy overhead.  This module folds a whole chunk of
+trials into one tensor program: the trials' token batches are stacked along
+the model's batch axis, every linear layer becomes one batched GEMM, and the
+attention -- protected or not -- carries the trial axis through its tile
+recurrence via the scheme's ``forward_batched`` (see
+:meth:`repro.core.schemes.ProtectionScheme.forward_batched`), while each
 trial keeps its own :class:`~repro.fault.injector.FaultInjector`, whose
-faults are applied to that trial's rows of the stacked intermediates.
+faults are applied to that trial's slice of the stacked intermediates.
 
-The fast path is byte-identical to the scalar kernel (enforced by
-``tests/fault/test_batched.py``) and deliberately narrow:
+Byte-parity with the scalar kernel is enforced by
+``tests/fault/test_batched.py`` and rests on two rules:
 
-* scheme ``"none"`` only -- protected schemes carry verification state
-  (checksum verdicts, report counters) that aggregates over all rows of a
-  GEMM and would mix trials;
-* ``linear`` fault sites only -- attention-site faults need the per-block
-  ``corrupt`` offers of the scheme's own tile loop.
+* the trial axis is never flattened into a GEMM's row dimension (a fused 2D
+  GEMM can pick a different kernel blocking for the larger row count and
+  drift in the last bits -- observed on the wide ``lm_head`` projection);
+  every matmul stays batched-last-two-dims so each trial's slice is the very
+  same product the scalar forward computes;
+* every injector sees the exact ``corrupt`` offer sequence of the scalar
+  forward (same sites, same blocks, same per-trial array shapes), so its
+  occurrence counting and element draws are unchanged.
 
-Everything else declines the chunk (returns ``None``) and falls back to the
-scalar oracle, trial by trial.
+Protected schemes (``efta``, ``efta_unified``, ``decoupled``) ride the same
+path: verification *detection* runs stacked, and only flagged trials fall
+back to the scalar repair routines on slice views.  A scheme whose attention
+kernel has no ``forward_batched`` declines the chunk (returns ``None``)
+before consuming any generator, and the scalar oracle runs trial by trial.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.attention.flash import flash_attention
 from repro.attention.tiling import merge_heads, split_heads
+from repro.core.config import FaultToleranceReport
 from repro.fault.runner import register_campaign_batch
 from repro.fp.float16 import fp16_matmul
 
@@ -36,10 +46,10 @@ from repro.fp.float16 import fp16_matmul
 class _BatchFaultRouter:
     """Routes one stacked ``corrupt`` offer to every trial's own injector.
 
-    The stacked linear intermediates have shape ``(n_trials, rows, out_dim)``
-    with trial ``t`` owning slice ``array[t]`` -- exactly the 2D array the
-    scalar forward would offer, so each injector's element draws, occurrence
-    counting and records are unchanged.
+    The stacked intermediates have shape ``(n_trials, ...)`` with trial ``t``
+    owning slice ``array[t]`` -- exactly the array the scalar forward would
+    offer, so each injector's element draws, occurrence counting and records
+    are unchanged.
     """
 
     def __init__(self, injectors: list):
@@ -61,46 +71,99 @@ class _BatchFaultRouter:
         self._active = still_armed
 
 
-def _linear_unprotected(layer, x: np.ndarray, router: _BatchFaultRouter) -> np.ndarray:
-    """Mirror of ``ProtectedLinear.__call__(..., protected=False)`` with the
-    stacked fault router in place of a single injector.
+# --------------------------------------------------------------------------- #
+# Token-batch cache
+# --------------------------------------------------------------------------- #
+#: Stacked token batches keyed by (prompt identity, n_trials).  The prompt
+#: array comes out of the transformer fixture LRU and is identical for every
+#: chunk of a campaign, so the ``(n_trials * 1, seq)`` tile is built once per
+#: (fixture, batch size) instead of on every chunk.  Holding a strong
+#: reference to the keyed array keeps its id() from being reused while the
+#: entry lives.
+_TOKEN_BATCHES: OrderedDict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = OrderedDict()
+_TOKEN_BATCH_LIMIT = 32
+
+
+def _token_batch(ids: np.ndarray, n_trials: int) -> np.ndarray:
+    key = (id(ids), int(n_trials))
+    hit = _TOKEN_BATCHES.get(key)
+    if hit is not None and hit[0] is ids:
+        _TOKEN_BATCHES.move_to_end(key)
+        return hit[1]
+    batch = np.concatenate([ids] * n_trials, axis=0)
+    _TOKEN_BATCHES[key] = (ids, batch)
+    _TOKEN_BATCHES.move_to_end(key)
+    while len(_TOKEN_BATCHES) > _TOKEN_BATCH_LIMIT:
+        _TOKEN_BATCHES.popitem(last=False)
+    return batch
+
+
+# --------------------------------------------------------------------------- #
+# Stacked layers
+# --------------------------------------------------------------------------- #
+def _linear_batched(layer, x: np.ndarray, router: _BatchFaultRouter, protected: bool):
+    """Mirror of ``ProtectedLinear.__call__`` with the stacked fault router.
 
     The trial axis is kept (``(n_trials, seq, dim)``) and the projection runs
-    as a batched-last-two-dims matmul rather than one flattened 2D GEMM: BLAS
-    executes batched matmul slice by slice, so each trial's rows are the very
-    same ``(seq, in_dim) @ (in_dim, out_dim)`` product the scalar forward
-    computes -- bit-identical -- whereas a fused ``(n_trials*seq, in_dim)``
-    GEMM can pick a different kernel blocking for the larger row count and
-    drift in the last bits (observed on the wide ``lm_head`` projection).
+    as a batched-last-two-dims matmul rather than one flattened 2D GEMM, so
+    each trial's rows are the very same ``(seq, in_dim) @ (in_dim, out_dim)``
+    product the scalar forward computes -- bit-identical.  When ``protected``,
+    the checksum GEMMs run stacked too and the strided verification detects
+    once over the stack, repairing flagged trials through slice views exactly
+    like the scalar routine (verification happens before the bias add, as in
+    the scalar layer).  Returns ``(y, verdicts)`` with one verdict per trial,
+    or ``verdicts=None`` when unprotected.
     """
     from repro.fault.models import FaultSite
+    from repro.gemm.checksum import verify_strided_checksums_stacked
 
     x = np.asarray(x, dtype=np.float32)
     y = fp16_matmul(x, layer.weight)
     router.corrupt(FaultSite.LINEAR, y)
+    verdicts = None
+    if protected:
+        y_check1 = fp16_matmul(x, layer._w_check1)
+        y_check2 = fp16_matmul(x, layer._w_check2)
+        verdicts = verify_strided_checksums_stacked(
+            y,
+            y_check1,
+            y_check2,
+            stride=layer.checksum_stride,
+            atol=layer.checksum_atol,
+            rtol=layer.checksum_rtol,
+        )
     if layer.bias is not None:
         y = y + layer.bias
-    return y
+    return y, verdicts
+
+
+def _record_verdicts(verdicts, reports, stage: str) -> None:
+    """Per-trial mirror of ``MultiHeadAttention._record``."""
+    if verdicts is None:
+        return
+    for report, verdict in zip(reports, verdicts):
+        report.record_detection(stage, verdict.detected)
+        report.record_correction(stage, verdict.corrected)
+        report.record_uncorrectable(stage, verdict.uncorrectable)
 
 
 def _forward_batched_unprotected(model, token_ids: np.ndarray, router: _BatchFaultRouter) -> np.ndarray:
     """One stacked forward of the scheme-``"none"`` model, returning logits.
 
-    Follows ``TransformerModel.forward`` -> ``TransformerBlock`` ->
-    ``MultiHeadAttention`` / ``FeedForward`` step for step for the
-    unprotected scheme: no checksum verification, no activation clamp, and
-    the attention math is the flash recurrence (bit-identical to
-    ``UnprotectedAttention``, whose non-``linear`` ``corrupt`` offers are
-    no-ops for the linear-site-only faults this path accepts).
+    Fast path for linear-only fault sites: the attention math runs through the
+    vectorized :func:`repro.attention.flash.flash_attention` recurrence
+    (bit-identical to ``UnprotectedAttention``), skipping the per-tile
+    ``corrupt`` offers -- which is sound because occurrence counting is per
+    site, so offers at attention sites cannot influence linear-site faults.
     """
     x = model.embedding(token_ids)
     for block in model.blocks:
         mha = block.attention
         cfg = mha.attention.config
         h = block.ln_attn(x)
-        q = _linear_unprotected(mha.q_proj, h, router)
-        k = _linear_unprotected(mha.k_proj, h, router)
-        v = _linear_unprotected(mha.v_proj, h, router)
+        q, _ = _linear_batched(mha.q_proj, h, router, False)
+        k, _ = _linear_batched(mha.k_proj, h, router, False)
+        v, _ = _linear_batched(mha.v_proj, h, router, False)
         heads = flash_attention(
             split_heads(q, mha.num_heads),
             split_heads(k, mha.num_heads),
@@ -109,12 +172,75 @@ def _forward_batched_unprotected(model, token_ids: np.ndarray, router: _BatchFau
             block_size=cfg.block_size,
             mixed_precision=True,
         )
-        x = x + _linear_unprotected(mha.out_proj, merge_heads(heads), router)
+        out, _ = _linear_batched(mha.out_proj, merge_heads(heads), router, False)
+        x = x + out
         f = block.ln_ffn(x)
-        hidden = _linear_unprotected(block.ffn.fc_in, f, router)
-        x = x + _linear_unprotected(block.ffn.fc_out, block.ffn.activation(hidden), router)
+        hidden, _ = _linear_batched(block.ffn.fc_in, f, router, False)
+        ffn_out, _ = _linear_batched(block.ffn.fc_out, block.ffn.activation(hidden), router, False)
+        x = x + ffn_out
     x = model.final_norm(x)
-    return _linear_unprotected(model.lm_head, x, router)
+    logits, _ = _linear_batched(model.lm_head, x, router, False)
+    return logits
+
+
+def _forward_batched(
+    model,
+    token_ids: np.ndarray,
+    router: _BatchFaultRouter,
+    reports: list[FaultToleranceReport],
+) -> np.ndarray:
+    """One stacked forward mirroring ``TransformerModel.forward`` for any
+    scheme whose attention kernel supports the batched path.
+
+    Follows the scalar model step for step: pre-norm blocks, QKV projections
+    recorded after all three (like ``MultiHeadAttention``), the scheme's own
+    ``forward_batched`` attention, the FFN activation clamp with per-trial
+    restriction counts, and an LM head that is verified but -- like the
+    scalar forward -- never recorded in the report.
+    """
+    protect = model.protects_linear
+    x = model.embedding(token_ids)
+    for block in model.blocks:
+        mha = block.attention
+        h = block.ln_attn(x)
+        q, vq = _linear_batched(mha.q_proj, h, router, protect)
+        k, vk = _linear_batched(mha.k_proj, h, router, protect)
+        v, vv = _linear_batched(mha.v_proj, h, router, protect)
+        for verdicts, stage in ((vq, "q_proj"), (vk, "k_proj"), (vv, "v_proj")):
+            _record_verdicts(verdicts, reports, stage)
+        heads, attn_reports = mha.attention.forward_batched(
+            split_heads(q, mha.num_heads),
+            split_heads(k, mha.num_heads),
+            split_heads(v, mha.num_heads),
+            router,
+        )
+        for report, attn_report in zip(reports, attn_reports):
+            report.merge(attn_report)
+        out, vo = _linear_batched(mha.out_proj, merge_heads(heads), router, protect)
+        _record_verdicts(vo, reports, "out_proj")
+        x = x + out
+        f = block.ln_ffn(x)
+        hidden, vi = _linear_batched(block.ffn.fc_in, f, router, protect)
+        _record_verdicts(vi, reports, "ffn_in")
+        activated = block.ffn.activation(hidden)
+        if protect:
+            bound = block.ffn.activation_bound
+            clipped = np.clip(activated, -bound, bound)
+            changed = clipped != activated
+            if changed.any():
+                counts = changed.reshape(len(reports), -1).sum(axis=1)
+                for report, count in zip(reports, counts):
+                    restricted = int(count)
+                    if restricted:
+                        report.record_detection("ffn_activation", restricted)
+                        report.record_restoration("ffn_activation", restricted)
+            activated = clipped
+        ffn_out, vout = _linear_batched(block.ffn.fc_out, activated, router, protect)
+        _record_verdicts(vout, reports, "ffn_out")
+        x = x + ffn_out
+    x = model.final_norm(x)
+    logits, _ = _linear_batched(model.lm_head, x, router, protect)
+    return logits
 
 
 @register_campaign_batch("transformer_inference")
@@ -143,8 +269,12 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
             f"sites {missing} never execute under scheme "
             f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
         )
-    if model.scheme_name != "none" or any(s != FaultSite.LINEAR for s in sites):
-        # Decline before touching any generator: the scalar fallback must see
+    use_flash = model.scheme_name == "none" and all(s == FaultSite.LINEAR for s in sites)
+    if not use_flash and not all(
+        block.attention.attention.supports_batched for block in model.blocks
+    ):
+        # The scheme's attention kernel has no batched forward.  Decline
+        # before touching any generator: the scalar fallback must see
         # pristine per-trial streams.
         return None
 
@@ -173,9 +303,14 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
         injectors.append(FaultInjector(specs=specs, seed=int(rng.integers(2**31))))
 
     n_trials = len(rngs)
-    token_batch = np.concatenate([ids] * n_trials, axis=0)
+    token_batch = _token_batch(ids, n_trials)
     router = _BatchFaultRouter(injectors)
-    logits = _forward_batched_unprotected(model, token_batch, router)
+    if use_flash:
+        reports = None
+        logits = _forward_batched_unprotected(model, token_batch, router)
+    else:
+        reports = [FaultToleranceReport() for _ in range(n_trials)]
+        logits = _forward_batched(model, token_batch, router, reports)
 
     denom = max(float(np.abs(clean_logits).max()), 1e-12)
     # One stacked |faulty - clean| pass; the per-trial max over its own slice
@@ -188,12 +323,17 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
         if not np.isfinite(deviation):
             deviation = 10.0 * denom
         rel_err = min(deviation / denom, 10.0)
+        report = reports[t] if reports is not None else None
         records.append(
             TrialOutcome(
                 injected=applied,
-                detected=0,  # scheme "none" verifies nothing, ever
+                detected=int(report.total_detections) if report is not None else 0,
                 corrected=applied if rel_err < tol else 0,
-                false_alarm=False,
+                false_alarm=(
+                    bool(applied == 0 and report.detected_any)
+                    if report is not None
+                    else False
+                ),
                 output_rel_error=rel_err if applied else 0.0,
             ).to_dict()
         )

@@ -102,18 +102,55 @@ class TestByteParityAllCampaigns:
     @pytest.mark.parametrize(
         "params",
         [
-            # Protected scheme: verification state aggregates over GEMM rows,
-            # so the batch kernel declines and the scalar loop runs.
+            # Protected default scheme (efta_unified) on the default linear site.
             {"hidden_dim": 16, "seq_len": 8},
-            # Attention fault site: needs the scheme's per-block corrupt offers.
+            # Attention fault sites ride each scheme's stacked tile recurrence.
             {"scheme": "none", "hidden_dim": 16, "seq_len": 8, "site": "gemm_qk"},
-            # Site list mixing linear with an attention site.
             {"scheme": "none", "hidden_dim": 16, "seq_len": 8, "site": ["linear", "gemm_qk"]},
+            {"scheme": "efta", "hidden_dim": 16, "seq_len": 8, "site": "subtract_exp"},
+            {"scheme": "efta", "hidden_dim": 16, "seq_len": 8, "site": "reduce_sum"},
+            {"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8, "site": "gemm_pv"},
+            {
+                "scheme": "efta_unified",
+                "hidden_dim": 16,
+                "seq_len": 8,
+                "site": ["linear", "gemm_qk", "subtract_exp", "gemm_pv", "normalize"],
+            },
+            {"scheme": "decoupled", "hidden_dim": 16, "seq_len": 8, "site": "softmax"},
+            {
+                "scheme": "decoupled",
+                "hidden_dim": 16,
+                "seq_len": 8,
+                "site": ["linear", "gemm_qk", "softmax", "gemm_pv"],
+            },
         ],
     )
-    def test_transformer_fallback_paths_stay_byte_identical(self, params, tmp_path, monkeypatch):
+    def test_transformer_scheme_paths_stay_byte_identical(self, params, tmp_path, monkeypatch):
         scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, 6, params)
         batched = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 5, 6, params)
+        assert batched == scalar
+
+    def test_transformer_protected_many_trials_nondivisor_batch(self, tmp_path, monkeypatch):
+        # The protected analogue of the deep scheme-"none" sweep: enough
+        # trials to surface rare value patterns in the stacked verification.
+        params = {"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8}
+        scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, 64, params)
+        for batch in (3, 16):
+            batched = _run_bytes(
+                monkeypatch, tmp_path, "transformer_inference", batch, 64, params
+            )
+            assert batched == scalar
+
+    def test_transformer_protected_ber_mode_parity(self, tmp_path, monkeypatch):
+        params = {
+            "scheme": "efta_unified",
+            "hidden_dim": 16,
+            "seq_len": 8,
+            "bit_error_rate": 1e-7,
+            "site": ["linear", "gemm_pv"],
+        }
+        scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, 32, params)
+        batched = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 16, 32, params)
         assert batched == scalar
 
     def test_transformer_site_list_fast_path(self, tmp_path, monkeypatch):
@@ -123,8 +160,16 @@ class TestByteParityAllCampaigns:
         assert batched == scalar
 
     @pytest.mark.parametrize("executor", ["process", "async"])
-    def test_executor_backends_match_serial_scalar(self, executor, tmp_path, monkeypatch):
-        n_trials, params = CASES["transformer_inference"]
+    @pytest.mark.parametrize(
+        "params",
+        [
+            CASES["transformer_inference"][1],
+            {"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8, "site": "gemm_pv"},
+        ],
+        ids=["none", "efta_unified"],
+    )
+    def test_executor_backends_match_serial_scalar(self, executor, params, tmp_path, monkeypatch):
+        n_trials = CASES["transformer_inference"][0]
         scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, n_trials, params)
         batched = _run_bytes(
             monkeypatch, tmp_path, "transformer_inference", 3, n_trials, params,
@@ -134,13 +179,25 @@ class TestByteParityAllCampaigns:
 
 
 class TestBatchedKernelContracts:
-    def test_transformer_batch_declines_before_consuming_rngs(self):
+    def test_scheme_without_batched_forward_declines_before_consuming_rngs(self):
+        # A scheme whose attention kernel has no stacked forward must decline
+        # the chunk -- leaving every per-trial generator untouched for the
+        # scalar fallback -- rather than crash or consume draws.
+        from repro.core import schemes as schemes_module
         from repro.fault.batched import _transformer_inference_batch
 
-        rngs = [np.random.default_rng(i) for i in range(3)]
-        states = [rng.bit_generator.state for rng in rngs]
-        assert _transformer_inference_batch(rngs, {"hidden_dim": 16, "seq_len": 8}) is None
-        assert [rng.bit_generator.state for rng in rngs] == states
+        @schemes_module.register_scheme("parity_scalar_only")
+        class _ScalarOnly(schemes_module.UnprotectedAttention):
+            supports_batched = False
+
+        try:
+            rngs = [np.random.default_rng(i) for i in range(3)]
+            states = [rng.bit_generator.state for rng in rngs]
+            params = {"scheme": "parity_scalar_only", "hidden_dim": 16, "seq_len": 8}
+            assert _transformer_inference_batch(rngs, params) is None
+            assert [rng.bit_generator.state for rng in rngs] == states
+        finally:
+            schemes_module._SCHEMES.pop("parity_scalar_only", None)
 
     def test_transformer_batch_rejects_unavailable_site_like_scalar(self):
         from repro.fault.batched import _transformer_inference_batch

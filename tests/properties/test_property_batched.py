@@ -25,6 +25,15 @@ from repro.fault.runner import (
 
 SETTINGS = dict(max_examples=25, deadline=None)
 
+#: Fault sites each protection scheme executes on the small transformer
+#: fixture (drawn by the scheme-aware split-invariance property below).
+SCHEME_SITES = {
+    "none": ["linear", "gemm_qk", "subtract_exp", "normalize"],
+    "efta": ["linear", "gemm_qk", "subtract_exp", "reduce_sum", "gemm_pv"],
+    "efta_unified": ["linear", "gemm_qk", "subtract_exp", "reduce_sum", "gemm_pv"],
+    "decoupled": ["linear", "gemm_qk", "softmax", "gemm_pv"],
+}
+
 
 @pytest.fixture(autouse=True)
 def _registry_snapshot():
@@ -101,4 +110,18 @@ class TestSplitInvariance:
         params = {"bit_error_rate": 1e-6, "rows": 24, "cols": 24, "depth": 12}
         scalar = _run_bytes("abft_error_coverage", 1, 11, seed, params)
         batched = _run_bytes("abft_error_coverage", batch, 11, seed, params)
+        assert batched == scalar
+
+    @given(
+        scheme=st.sampled_from(sorted(SCHEME_SITES)),
+        data=st.data(),
+        batch=st.integers(min_value=2, max_value=16),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_transformer_scheme_split_invariance(self, scheme, data, batch, seed):
+        site = data.draw(st.sampled_from(SCHEME_SITES[scheme]), label="site")
+        params = {"scheme": scheme, "hidden_dim": 16, "seq_len": 8, "site": site}
+        scalar = _run_bytes("transformer_inference", 1, 7, seed, params)
+        batched = _run_bytes("transformer_inference", batch, 7, seed, params)
         assert batched == scalar
