@@ -55,6 +55,11 @@ _SWEEP_HEADERS = {
     "coverage": "coverage",
     "mean_output_error": "mean err",
 }
+#: Pretty column names for grid axes (detection-coverage sweeps commonly add
+#: a ``fault_model`` axis; every other axis renders verbatim).
+_AXIS_HEADERS = {
+    "fault_model": "fault model",
+}
 
 
 def _summary_of(result, context: str) -> dict:
@@ -101,8 +106,9 @@ def format_sweep_result(result, title: str | None = None) -> str:
 
     from repro.exec.results import SummaryProtocol
 
+    axis_headers = [_AXIS_HEADERS.get(axis, axis) for axis in axes]
     if all(_is_threshold_sweep(entry.result) for entry in entries):
-        headers = axes + ["result"]
+        headers = axis_headers + ["result"]
         rows = [
             [entry.point[a] for a in axes] + [_fmt_compact_result(entry.result)]
             for entry in entries
@@ -131,7 +137,7 @@ def format_sweep_result(result, title: str | None = None) -> str:
                 "share one table"
             )
         rows.append([entry.point[a] for a in axes] + [values[k] for k in keys])
-    headers = axes + [_SWEEP_HEADERS.get(key, key) for key in keys]
+    headers = axis_headers + [_SWEEP_HEADERS.get(key, key) for key in keys]
     return format_table(headers, rows, title=title)
 
 

@@ -7,6 +7,9 @@
     python -m repro sweep spec.json [--expand-only] [...]
     python -m repro worker --connect HOST:PORT [--authkey KEY]
     python -m repro list-campaigns
+    python -m repro list-fault-models
+    python -m repro faultload generate --model NAME --trials N --out fl.jsonl
+    python -m repro faultload describe fl.jsonl
     python -m repro report PATH [PATH ...]
 
 ``run`` auto-detects campaign vs. sweep specs (a ``grid`` key marks a sweep)
@@ -351,12 +354,81 @@ def cmd_bench(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
 
 
 def cmd_list_campaigns(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    from repro.fault.runner import campaign_summaries
+    from repro.fault.runner import campaign_summaries, get_campaign
 
     summaries = campaign_summaries()
     width = max((len(name) for name, _ in summaries), default=0)
     for name, summary in summaries:
+        # Campaigns that thread a `fault_model` param through to the fault
+        # dictionary advertise it, so `list-fault-models` output is usable
+        # without reading each kernel's docstring.
+        if get_campaign(name).accepts_fault_model:
+            summary = f"{summary} [accepts fault_model]".strip()
         print(f"{name.ljust(width)}  {summary}".rstrip())
+    return 0
+
+
+def cmd_list_fault_models(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.fault.dictionary import fault_model_summaries
+
+    summaries = fault_model_summaries()
+    width = max((len(name) for name, _ in summaries), default=0)
+    for name, summary in summaries:
+        print(f"{name.ljust(width)}  {summary}".rstrip())
+    return 0
+
+
+def cmd_faultload_generate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.fault.dictionary import FaultloadGenerator
+
+    model_params = {}
+    if args.model_params:
+        try:
+            model_params = json.loads(args.model_params)
+        except ValueError as exc:
+            parser.error(f"--model-params is not valid JSON: {exc}")
+        if not isinstance(model_params, dict):
+            parser.error("--model-params must be a JSON object")
+    shape = tuple(args.shape) if args.shape else None
+    try:
+        generator = FaultloadGenerator(
+            model=args.model,
+            n_trials=args.trials,
+            seed=args.seed,
+            site=args.site,
+            dtype=args.dtype,
+            bits=tuple(args.bits) if args.bits else None,
+            n_faults=args.n_faults,
+            occurrence=args.occurrence,
+            shape=shape,
+            model_params=model_params,
+            name=args.name,
+        )
+        faultload = generator.generate()
+    except ValueError as exc:
+        parser.error(str(exc))
+    faultload.write(args.out)
+    print(
+        f"wrote {faultload.n_trials}-trial {faultload.model!r} faultload "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def cmd_faultload_describe(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.fault.dictionary import load_faultload
+
+    try:
+        faultload = load_faultload(args.faultload)
+    except ValueError as exc:
+        parser.error(str(exc))
+    for key in sorted(faultload.header):
+        print(f"{key}: {json.dumps(faultload.header[key], sort_keys=True)}")
+    total = sum(len(faultload.specs_for(i)) for i in range(faultload.n_trials))
+    print(f"fault specs: {total} across {faultload.n_trials} trials")
+    if args.digests:
+        for i in range(faultload.n_trials):
+            print(f"trial {i}: {faultload.digest_for(i)}")
     return 0
 
 
@@ -598,6 +670,100 @@ def build_parser() -> argparse.ArgumentParser:
         "list-campaigns", help="list registered trial kernels with summaries"
     )
     list_parser.set_defaults(handler=cmd_list_campaigns)
+
+    list_models = commands.add_parser(
+        "list-fault-models",
+        help="list registered fault models with summaries",
+    )
+    list_models.set_defaults(handler=cmd_list_fault_models)
+
+    faultload = commands.add_parser(
+        "faultload",
+        help="generate or inspect pre-materialized faultload artifacts",
+    )
+    faultload_commands = faultload.add_subparsers(
+        dest="faultload_command", required=True
+    )
+    generate = faultload_commands.add_parser(
+        "generate",
+        help="materialize a reproducible faultload JSONL from a fault model",
+    )
+    generate.add_argument(
+        "--model",
+        required=True,
+        help="registered fault model name (see `repro list-fault-models`)",
+    )
+    generate.add_argument(
+        "--trials", type=int, required=True, metavar="N", help="trials to materialize"
+    )
+    generate.add_argument(
+        "--out", required=True, metavar="PATH", help="output JSONL path"
+    )
+    generate.add_argument(
+        "--seed", type=int, default=0, help="root seed of the faultload (default: 0)"
+    )
+    generate.add_argument(
+        "--site",
+        default="linear",
+        help="fault site every spec targets (default: linear)",
+    )
+    generate.add_argument(
+        "--dtype",
+        default=None,
+        help="bit-width dtype of the flips (default: the model's own)",
+    )
+    generate.add_argument(
+        "--bits",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="BIT",
+        help="candidate bit positions to draw from (default: the full word)",
+    )
+    generate.add_argument(
+        "--n-faults",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fault specs per trial (default: 1)",
+    )
+    generate.add_argument(
+        "--occurrence",
+        type=int,
+        default=0,
+        metavar="N",
+        help="matching corrupt() offers each spec skips before firing (default: 0)",
+    )
+    generate.add_argument(
+        "--shape",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="DIM",
+        help="tensor shape to pin element indices against (default: unpinned)",
+    )
+    generate.add_argument(
+        "--model-params",
+        default="",
+        metavar="JSON",
+        help='model parameters as a JSON object, e.g. \'{"burst_len": 3}\'',
+    )
+    generate.add_argument(
+        "--name", default="", help="optional label stored in the artifact header"
+    )
+    generate.set_defaults(handler=cmd_faultload_generate)
+
+    describe = faultload_commands.add_parser(
+        "describe",
+        help="validate a faultload artifact and print its header",
+    )
+    describe.add_argument("faultload", help="path to a faultload JSONL artifact")
+    describe.add_argument(
+        "--digests",
+        action="store_true",
+        help="also print the per-trial fault-spec digests",
+    )
+    describe.set_defaults(handler=cmd_faultload_describe)
 
     bench = commands.add_parser(
         "bench",

@@ -132,6 +132,19 @@ class ExperimentRunner:
                     f"results path {self.results_path} is a directory, but a "
                     "campaign checkpoints into a single JSONL file"
                 )
+        faultload_path = self.spec.faultload or self.spec.params.get("faultload")
+        if faultload_path:
+            # Fail fast -- before any worker pool spins up -- on a missing,
+            # malformed or too-short artifact; every trial index the run will
+            # ask for must already be materialized.
+            from repro.fault.dictionary import load_faultload
+
+            faultload = load_faultload(faultload_path)
+            if faultload.n_trials < self.spec.n_trials:
+                raise ValueError(
+                    f"faultload {faultload_path} holds {faultload.n_trials} "
+                    f"trials but the experiment runs {self.spec.n_trials}"
+                )
 
     # ------------------------------------------------------------------ #
     def _point_path(self, index: int, spec) -> Path | None:

@@ -59,6 +59,13 @@ class ExperimentSpec:
         Optional label; expanded campaigns are named
         ``<label>/<axis>=<value>,...`` (sweeps) or ``name`` verbatim
         (single campaigns).
+    faultload:
+        Optional path to a pre-materialized faultload artifact (see
+        :mod:`repro.fault.dictionary`).  When set, every grid point's
+        campaign replays the artifact's per-trial ``FaultSpec`` lists instead
+        of drawing faults -- the same faults under every scheme, backend and
+        worker count.  Serialised only when non-empty, so existing spec files
+        and checkpoint resume identities are untouched.
     """
 
     campaign: str
@@ -67,6 +74,7 @@ class ExperimentSpec:
     params: dict = field(default_factory=dict)
     grid: dict = field(default_factory=dict)
     name: str = ""
+    faultload: str = ""
 
     def __post_init__(self) -> None:
         if not self.campaign:
@@ -133,6 +141,7 @@ class ExperimentSpec:
         """
         if not self.is_sweep:
             return [({}, self.as_campaign())]
+        extra = {"faultload": self.faultload} if self.faultload else {}
         pairs = []
         for point in self.points():
             tag = ",".join(f"{axis}={point[axis]}" for axis in self.axes)
@@ -140,7 +149,7 @@ class ExperimentSpec:
                 campaign=self.campaign,
                 n_trials=self.n_trials,
                 seed=self.seed,
-                params={**self.params, **point},
+                params={**extra, **self.params, **point},
                 name=f"{self.label}/{tag}",
             )
             pairs.append((point, spec))
@@ -161,21 +170,27 @@ class ExperimentSpec:
         + ``grid``), so files written from either API load with either.
         """
         if not self.is_sweep:
-            return {
+            data = {
                 "campaign": self.campaign,
                 "n_trials": self.n_trials,
                 "seed": self.seed,
                 "params": json.loads(json.dumps(self.params)),
                 "name": self.name,
             }
-        return {
-            "campaign": self.campaign,
-            "n_trials": self.n_trials,
-            "seed": self.seed,
-            "grid": json.loads(json.dumps(self.grid)),
-            "base_params": json.loads(json.dumps(self.params)),
-            "name": self.name,
-        }
+        else:
+            data = {
+                "campaign": self.campaign,
+                "n_trials": self.n_trials,
+                "seed": self.seed,
+                "grid": json.loads(json.dumps(self.grid)),
+                "base_params": json.loads(json.dumps(self.params)),
+                "name": self.name,
+            }
+        if self.faultload:
+            # Emitted only when set: pre-existing spec files and resume keys
+            # must serialise exactly as before this field existed.
+            data["faultload"] = self.faultload
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -187,7 +202,10 @@ class ExperimentSpec:
         """
         if not isinstance(data, dict):
             raise ValueError(f"experiment spec must be a JSON object, got {type(data).__name__}")
-        known = {"campaign", "n_trials", "seed", "params", "base_params", "grid", "name"}
+        known = {
+            "campaign", "n_trials", "seed", "params", "base_params",
+            "grid", "name", "faultload",
+        }
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
@@ -203,6 +221,7 @@ class ExperimentSpec:
             params=json.loads(json.dumps(params)),
             grid=json.loads(json.dumps(data.get("grid", {}))),
             name=str(data.get("name", "")),
+            faultload=str(data.get("faultload", "")),
         )
 
     def to_json(self) -> str:
@@ -262,11 +281,14 @@ class ExperimentSpec:
                 f"experiment {self.label!r} has a {len(self.grid)}-axis grid; "
                 "expand() it into campaigns instead"
             )
+        params = json.loads(json.dumps(self.params))
+        if self.faultload:
+            params.setdefault("faultload", self.faultload)
         return CampaignSpec(
             campaign=self.campaign,
             n_trials=self.n_trials,
             seed=self.seed,
-            params=json.loads(json.dumps(self.params)),
+            params=params,
             name=self.name,
         )
 

@@ -40,6 +40,11 @@ or from a JSON spec file via ``python -m repro.fault.runner spec.json
 * :mod:`repro.fault.campaign` -- the registered trial kernels and thin
   wrappers behind Figures 12 and 14, plus the ``transformer_inference``
   model-level kernel.
+* :mod:`repro.fault.dictionary` -- the fault dictionary: the
+  ``@register_fault_model`` strategy registry (stuck-at, bursts, memory
+  lines, at-rest weight corruption, intermittents) and pre-materialized
+  faultload artifacts replayable byte-identically across schemes, backends
+  and worker counts.
 """
 
 from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
@@ -63,6 +68,18 @@ _SWEEP_EXPORTS = (
     "SweepSpec",
     "run_sweep",
 )
+_DICTIONARY_EXPORTS = (
+    "FAULTLOAD_SCHEMA_VERSION",
+    "FaultModel",
+    "Faultload",
+    "FaultloadGenerator",
+    "available_fault_models",
+    "fault_model_summaries",
+    "faultload_digest",
+    "get_fault_model",
+    "load_faultload",
+    "register_fault_model",
+)
 
 
 def __getattr__(name: str):
@@ -74,6 +91,10 @@ def __getattr__(name: str):
         from repro.fault import sweep
 
         return getattr(sweep, name)
+    if name in _DICTIONARY_EXPORTS:
+        from repro.fault import dictionary
+
+        return getattr(dictionary, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -95,4 +116,14 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "run_sweep",
+    "FAULTLOAD_SCHEMA_VERSION",
+    "FaultModel",
+    "Faultload",
+    "FaultloadGenerator",
+    "available_fault_models",
+    "fault_model_summaries",
+    "faultload_digest",
+    "get_fault_model",
+    "load_faultload",
+    "register_fault_model",
 ]

@@ -252,23 +252,45 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
     injector seed), so the resulting records -- and the JSONL checkpoint --
     are byte-identical to the scalar path.
     """
-    from repro.fault.campaign import _transformer_fixture
+    from repro.fault.campaign import _transformer_fixture, _validate_sites
+    from repro.fault.dictionary import faultload_digest, get_fault_model, load_faultload
     from repro.fault.injector import FaultInjector
     from repro.fault.metrics import TrialOutcome
     from repro.fault.models import FaultSite, FaultSpec
 
     model, ids, clean_logits, site_counts = _transformer_fixture(params)
-    sites = params.get("site", "linear")
-    if isinstance(sites, str):
-        sites = [sites]
-    sites = [FaultSite(str(s)) for s in sites]
-    missing = [s.value for s in sites if not site_counts.get(s)]
-    if missing:
-        executed = sorted(s.value for s in site_counts)
-        raise ValueError(
-            f"sites {missing} never execute under scheme "
-            f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
+    fault_model = str(params.get("fault_model", "seu"))
+    model_params = dict(params.get("model_params", {}))
+    replay_trials = None
+    if "faultload" in params:
+        faultload = load_faultload(params["faultload"])
+        trial_indices = params.get("_trial_indices")
+        if trial_indices is None:
+            raise ValueError(
+                "faultload replay requires the campaign runner to supply "
+                "'_trial_indices'; run through repro.fault.runner / repro.exec"
+            )
+        replay_trials = [faultload.specs_for(int(i)) for i in trial_indices]
+        replay_models = {
+            get_fault_model(s.fault_model) for specs in replay_trials for s in specs
+        }
+        if any(m.at_rest for m in replay_models):
+            # At-rest faults mutate the shared model fixture per trial; the
+            # stacked forward cannot express that.  Decline before touching
+            # any generator so the scalar oracle runs trial by trial.
+            return None
+        sites = sorted(
+            {s.site for specs in replay_trials for s in specs}, key=lambda s: s.value
         )
+        _validate_sites(sites, site_counts, params)
+    else:
+        if get_fault_model(fault_model).at_rest:
+            return None
+        sites = params.get("site", "linear")
+        if isinstance(sites, str):
+            sites = [sites]
+        sites = [FaultSite(str(s)) for s in sites]
+        _validate_sites(sites, site_counts, params)
     use_flash = model.scheme_name == "none" and all(s == FaultSite.LINEAR for s in sites)
     if not use_flash and not all(
         block.attention.attention.supports_batched for block in model.blocks
@@ -287,20 +309,30 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
         exposure_bits = 2.0 * model.num_parameters() * ids.shape[1] * 16.0
 
     injectors = []
-    for rng in rngs:
-        n_faults = int(rng.poisson(ber * exposure_bits)) if use_ber else 1
-        specs = []
-        for _ in range(n_faults):
-            site = sites[int(rng.integers(len(sites)))]
-            specs.append(
-                FaultSpec(
-                    site=site,
-                    bit=bits[int(rng.integers(len(bits)))],
-                    dtype=dtype,
-                    occurrence=int(rng.integers(site_counts[site])),
-                )
+    if replay_trials is not None:
+        # Replay mode: the specs come verbatim from the artifact; the only
+        # per-trial draw (matching the scalar kernel) is the injector seed.
+        for rng, specs in zip(rngs, replay_trials):
+            injectors.append(
+                FaultInjector(specs=list(specs), seed=int(rng.integers(2**31)))
             )
-        injectors.append(FaultInjector(specs=specs, seed=int(rng.integers(2**31))))
+    else:
+        for rng in rngs:
+            n_faults = int(rng.poisson(ber * exposure_bits)) if use_ber else 1
+            specs = []
+            for _ in range(n_faults):
+                site = sites[int(rng.integers(len(sites)))]
+                specs.append(
+                    FaultSpec(
+                        site=site,
+                        bit=bits[int(rng.integers(len(bits)))],
+                        dtype=dtype,
+                        occurrence=int(rng.integers(site_counts[site])),
+                        fault_model=fault_model,
+                        model_params=model_params,
+                    )
+                )
+            injectors.append(FaultInjector(specs=specs, seed=int(rng.integers(2**31))))
 
     n_trials = len(rngs)
     token_batch = _token_batch(ids, n_trials)
@@ -324,17 +356,130 @@ def _transformer_inference_batch(rngs: list, params: dict) -> list[dict] | None:
             deviation = 10.0 * denom
         rel_err = min(deviation / denom, 10.0)
         report = reports[t] if reports is not None else None
-        records.append(
-            TrialOutcome(
-                injected=applied,
-                detected=int(report.total_detections) if report is not None else 0,
-                corrected=applied if rel_err < tol else 0,
-                false_alarm=(
-                    bool(applied == 0 and report.detected_any)
-                    if report is not None
-                    else False
-                ),
-                output_rel_error=rel_err if applied else 0.0,
-            ).to_dict()
-        )
+        record = TrialOutcome(
+            injected=applied,
+            detected=int(report.total_detections) if report is not None else 0,
+            corrected=applied if rel_err < tol else 0,
+            false_alarm=(
+                bool(applied == 0 and report.detected_any)
+                if report is not None
+                else False
+            ),
+            output_rel_error=rel_err if applied else 0.0,
+        ).to_dict()
+        if replay_trials is not None:
+            record["fault_digest"] = faultload_digest(replay_trials[t])
+        records.append(record)
+    return records
+
+
+@register_campaign_batch("efta_site_resilience")
+def _efta_site_batch(rngs: list, params: dict) -> list[dict] | None:
+    """Batched site-resilience trials: one stacked fused-kernel forward.
+
+    The reference attention and the protected kernel both carry the trial
+    axis; each trial's q/k/v tensors, fault draws (bit, then injector seed)
+    and injector offers replay the scalar kernel's exact order, so the
+    records are byte-identical to the scalar path.
+    """
+    from repro.attention.standard import standard_attention
+    from repro.core.config import AttentionConfig
+    from repro.core.efta_optimized import EFTAttentionOptimized
+    from repro.fault.dictionary import faultload_digest, get_fault_model, load_faultload
+    from repro.fault.injector import FaultInjector
+    from repro.fault.metrics import TrialOutcome
+    from repro.fault.models import FaultSite
+
+    fault_model = str(params.get("fault_model", "seu"))
+    if get_fault_model(fault_model).at_rest:
+        # The scalar kernel rejects at-rest models with a clear ValueError;
+        # decline so the error is raised (and worded) in exactly one place.
+        return None
+    model_params = dict(params.get("model_params", {}))
+    replay_trials = None
+    if "faultload" in params:
+        faultload = load_faultload(params["faultload"])
+        trial_indices = params.get("_trial_indices")
+        if trial_indices is None:
+            raise ValueError(
+                "faultload replay requires the campaign runner to supply "
+                "'_trial_indices'; run through repro.fault.runner / repro.exec"
+            )
+        replay_trials = [faultload.specs_for(int(i)) for i in trial_indices]
+        if any(
+            get_fault_model(s.fault_model).at_rest
+            for specs in replay_trials
+            for s in specs
+        ):
+            # The scalar kernel rejects at-rest replays too; decline before
+            # consuming any per-trial generator so it gets to say so.
+            return None
+    else:
+        site = FaultSite(params["site"])
+        if "dtype" in params:
+            dtype = str(params["dtype"])
+        elif "bits" in params:
+            dtype = "fp16"
+        else:
+            from repro.fault.campaign import _FP16_SITES
+
+            dtype = "fp16" if site.value in _FP16_SITES else "fp32"
+        from repro.fault.campaign import _DEFAULT_BITS
+
+        bits = [int(b) for b in params.get("bits", _DEFAULT_BITS.get(dtype, _DEFAULT_BITS["fp16"]))]
+    seq_len = int(params.get("seq_len", 192))
+    head_dim = int(params.get("head_dim", 64))
+    block_size = int(params.get("block_size", 64))
+
+    config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=block_size)
+    attention = EFTAttentionOptimized(config)
+    if not getattr(attention, "supports_batched", False):
+        return None
+
+    qs = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    ks = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    vs = np.stack([rng.standard_normal((seq_len, head_dim)).astype(np.float32) for rng in rngs])
+    references = standard_attention(qs, ks, vs)
+
+    injectors = []
+    for t, rng in enumerate(rngs):
+        if replay_trials is not None:
+            injectors.append(
+                FaultInjector(specs=list(replay_trials[t]), seed=int(rng.integers(2**31)))
+            )
+        else:
+            bit = bits[int(rng.integers(len(bits)))]
+            block = None if site == FaultSite.NORMALIZE else (0, 1)
+            injectors.append(
+                FaultInjector.single_bit_flip(
+                    site,
+                    seed=int(rng.integers(2**31)),
+                    bit=bit,
+                    dtype=dtype,
+                    block=block,
+                    fault_model=fault_model,
+                    model_params=model_params,
+                )
+            )
+
+    router = _BatchFaultRouter(injectors)
+    outputs, attn_reports = attention.forward_batched(qs, ks, vs, router)
+
+    records = []
+    for t, injector in enumerate(injectors):
+        report = attn_reports[t]
+        rel_err = float(np.abs(outputs[t] - references[t]).max() / np.abs(references[t]).max())
+        if replay_trials is None and fault_model == "seu":
+            injected = 1
+        else:
+            injected = len(injector.records)
+        record = TrialOutcome(
+            injected=injected,
+            detected=int(report.detected_any),
+            corrected=int(report.total_corrections > 0),
+            output_rel_error=rel_err,
+        ).to_dict()
+        if replay_trials is not None:
+            record["fault_digest"] = faultload_digest(replay_trials[t])
+        records.append(record)
     return records

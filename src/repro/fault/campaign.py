@@ -729,29 +729,52 @@ _FP16_SITES = {"gemm_qk", "subtract_exp"}
 _DEFAULT_BITS = {"fp16": [8, 10, 12, 13, 14, 15], "fp32": [20, 23, 26, 28, 30, 31]}
 
 
-@register_campaign("efta_site_resilience")
+def _resolve_faultload_trial(params: dict):
+    """The (faultload, trial specs, digest) of a replay trial, or ``None``.
+
+    Replay campaigns reference a pre-materialized artifact via the
+    ``"faultload"`` param; the runner threads the absolute trial index in as
+    ``"_trial_index"`` so chunking / worker count cannot shift which specs a
+    trial replays.
+    """
+    if "faultload" not in params:
+        return None
+    from repro.fault.dictionary import faultload_digest, load_faultload
+
+    faultload = load_faultload(params["faultload"])
+    trial_index = params.get("_trial_index")
+    if trial_index is None:
+        raise ValueError(
+            "faultload replay requires the campaign runner to supply "
+            "'_trial_index'; run through repro.fault.runner / repro.exec"
+        )
+    specs = faultload.specs_for(int(trial_index))
+    return faultload, specs, faultload_digest(specs)
+
+
+@register_campaign("efta_site_resilience", accepts_fault_model=True)
 def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
-    """One SEU trial against a chosen stage of the fused protected kernel."""
+    """One fault trial against a chosen stage of the fused protected kernel."""
     # Imported here so spec-driven campaigns only pay for the fused kernel
     # when this workload is actually selected.
     from repro.attention.standard import standard_attention
     from repro.core.efta_optimized import EFTAttentionOptimized
+    from repro.fault.dictionary import get_fault_model
     from repro.fault.injector import FaultInjector
     from repro.fault.models import FaultSite
 
-    site = FaultSite(params["site"])
-    # dtype and bit positions default per fault site, so a sweep grid can
-    # vary `site` alone without re-deriving the representation for each.
-    # Specs that pin `bits` without `dtype` keep the historical fp16 default:
-    # their bit positions were chosen for that representation, and resumed
-    # pre-existing checkpoints must not mix fault models.
-    if "dtype" in params:
-        dtype = str(params["dtype"])
-    elif "bits" in params:
-        dtype = "fp16"
-    else:
-        dtype = "fp16" if site.value in _FP16_SITES else "fp32"
-    bits = [int(b) for b in params.get("bits", _DEFAULT_BITS.get(dtype, _DEFAULT_BITS["fp16"]))]
+    replay = _resolve_faultload_trial(params)
+    fault_model = str(params.get("fault_model", "seu"))
+    model_params = dict(params.get("model_params", {}))
+    trial_models = [s.fault_model for s in replay[1]] if replay else [fault_model]
+    for name in trial_models:
+        if get_fault_model(name).at_rest:
+            raise ValueError(
+                f"fault model {name!r} corrupts parameters at rest; the "
+                "fused attention kernel has no stored weights -- use the "
+                "'transformer_inference' campaign"
+            )
+
     seq_len = int(params.get("seq_len", 192))
     head_dim = int(params.get("head_dim", 64))
     block_size = int(params.get("block_size", 64))
@@ -763,21 +786,53 @@ def _efta_site_trial(rng: np.random.Generator, params: dict) -> dict:
 
     config = AttentionConfig(seq_len=seq_len, head_dim=head_dim, block_size=block_size)
     attention = EFTAttentionOptimized(config)
-    bit = bits[int(rng.integers(len(bits)))]
-    # The normalisation runs once per row block (not per inner iteration),
-    # so it is matched without a block constraint.
-    block = None if site == FaultSite.NORMALIZE else (0, 1)
-    injector = FaultInjector.single_bit_flip(
-        site, seed=int(rng.integers(2**31)), bit=bit, dtype=dtype, block=block
-    )
+    if replay is not None:
+        _, specs, fault_digest = replay
+        injector = FaultInjector(specs=list(specs), seed=int(rng.integers(2**31)))
+    else:
+        site = FaultSite(params["site"])
+        # dtype and bit positions default per fault site, so a sweep grid can
+        # vary `site` alone without re-deriving the representation for each.
+        # Specs that pin `bits` without `dtype` keep the historical fp16
+        # default: their bit positions were chosen for that representation,
+        # and resumed pre-existing checkpoints must not mix fault models.
+        if "dtype" in params:
+            dtype = str(params["dtype"])
+        elif "bits" in params:
+            dtype = "fp16"
+        else:
+            dtype = "fp16" if site.value in _FP16_SITES else "fp32"
+        bits = [int(b) for b in params.get("bits", _DEFAULT_BITS.get(dtype, _DEFAULT_BITS["fp16"]))]
+        bit = bits[int(rng.integers(len(bits)))]
+        # The normalisation runs once per row block (not per inner iteration),
+        # so it is matched without a block constraint.
+        block = None if site == FaultSite.NORMALIZE else (0, 1)
+        injector = FaultInjector.single_bit_flip(
+            site,
+            seed=int(rng.integers(2**31)),
+            bit=bit,
+            dtype=dtype,
+            block=block,
+            fault_model=fault_model,
+            model_params=model_params,
+        )
     output, report = attention(q, k, v, injector=injector)
     rel_err = float(np.abs(output - reference).max() / np.abs(reference).max())
-    return TrialOutcome(
-        injected=1,
+    # The historical SEU path reports `injected=1` (one planned fault) even
+    # when the pinned block never executes; other models count what landed.
+    if replay is None and fault_model == "seu":
+        injected = 1
+    else:
+        injected = len(injector.records)
+    record = TrialOutcome(
+        injected=injected,
         detected=int(report.detected_any),
         corrected=int(report.total_corrections > 0),
         output_rel_error=rel_err,
     ).to_dict()
+    if replay is not None:
+        record["fault_digest"] = fault_digest
+    return record
 
 
 # --------------------------------------------------------------------------- #
@@ -859,7 +914,79 @@ def _transformer_fixture(params: dict) -> tuple:
     return _TRANSFORMER_FIXTURES[key]
 
 
-@register_campaign("transformer_inference")
+def _weight_tensors(model) -> list[tuple[str, np.ndarray]]:
+    """The model's linear weight matrices, in a deterministic order.
+
+    The ``weights_at_rest`` fault model draws its target from this list; the
+    order (per block: QKV + output projections, then the FFN pair; LM head
+    last) is part of the campaign's reproducibility surface.
+    """
+    tensors: list[tuple[str, np.ndarray]] = []
+    for b, block in enumerate(model.blocks):
+        for name in ("q_proj", "k_proj", "v_proj", "out_proj"):
+            tensors.append((f"blocks[{b}].attention.{name}", getattr(block.attention, name).weight))
+        for name in ("fc_in", "fc_out"):
+            tensors.append((f"blocks[{b}].ffn.{name}", getattr(block.ffn, name).weight))
+    if model.lm_head is not None:
+        tensors.append(("lm_head", model.lm_head.weight))
+    return tensors
+
+
+def _transformer_outcome(output, clean_logits, applied: int, tol: float) -> dict:
+    """Fold one faulty forward into the campaign's TrialOutcome record."""
+    denom = max(float(np.abs(clean_logits).max()), 1e-12)
+    deviation = float(np.abs(output.logits - clean_logits).max())
+    if not np.isfinite(deviation):
+        deviation = 10.0 * denom
+    rel_err = min(deviation / denom, 10.0)
+    return TrialOutcome(
+        injected=applied,
+        detected=int(output.report.total_detections),
+        corrected=applied if rel_err < tol else 0,
+        false_alarm=bool(applied == 0 and output.report.detected_any),
+        output_rel_error=rel_err if applied else 0.0,
+    ).to_dict()
+
+
+def _run_at_rest_trial(rng, model, ids, clean_logits, tol: float, specs) -> dict:
+    """Corrupt stored weights per ``specs``, run the forward, restore exactly.
+
+    Weight checksums were encoded from clean parameters at model init, so an
+    at-rest flip is exactly what the paper's linear ABFT detects.  The model
+    fixture is shared across trials: restoration writes back each record's
+    original value (a float32/float16 round-trip, so bit exact).
+    """
+    from repro.fault.dictionary import get_fault_model
+
+    tensors = _weight_tensors(model)
+    apply_rng = np.random.default_rng(int(rng.integers(2**31)))
+    applied: list[tuple[np.ndarray, list]] = []
+    try:
+        for spec in specs:
+            fmodel = get_fault_model(spec.fault_model)
+            weight = tensors[int(rng.integers(len(tensors)))][1]
+            records = fmodel.apply(spec, weight, apply_rng, {}, None)
+            applied.append((weight, records))
+        output = model(ids, injector=None)
+    finally:
+        for weight, records in reversed(applied):
+            for record in reversed(records):
+                weight[record.index] = record.original
+    n_injected = sum(len(records) for _, records in applied)
+    return _transformer_outcome(output, clean_logits, n_injected, tol)
+
+
+def _validate_sites(sites, site_counts, params: dict) -> None:
+    missing = [s.value for s in sites if not site_counts.get(s)]
+    if missing:
+        executed = sorted(s.value for s in site_counts)
+        raise ValueError(
+            f"sites {missing} never execute under scheme "
+            f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
+        )
+
+
+@register_campaign("transformer_inference", accepts_fault_model=True)
 def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict:
     """One fault-injection trial against a full Transformer forward pass.
 
@@ -878,6 +1005,13 @@ def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict
       a list to sample from.  Default ``"linear"`` (present in all schemes).
       Sites the scheme never executes are rejected.
     * ``bits`` -- bit positions to sample; ``dtype`` -- ``"fp16"``/``"fp32"``.
+    * ``fault_model`` -- registered fault-model name applied to each spec
+      (default ``"seu"``); ``model_params`` -- its knobs.  The
+      ``weights_at_rest`` model corrupts a stored weight matrix before the
+      forward instead of a freshly computed value.
+    * ``faultload`` -- path to a pre-materialized faultload artifact; the
+      trial replays its pinned ``FaultSpec`` list verbatim (the same faults
+      under every scheme / backend) and records its ``fault_digest``.
     * ``correction_tol`` -- relative logit deviation below which the faulty
       forward counts as corrected (default 0.02).
 
@@ -885,24 +1019,40 @@ def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict
     the scheme's report, correction from comparing the faulty logits to the
     fault-free oracle.
     """
+    from repro.fault.dictionary import get_fault_model
     from repro.fault.injector import FaultInjector
     from repro.fault.models import FaultSite, FaultSpec
 
     model, ids, clean_logits, site_counts = _transformer_fixture(params)
-    sites = params.get("site", "linear")
-    if isinstance(sites, str):
-        sites = [sites]
-    sites = [FaultSite(str(s)) for s in sites]
-    missing = [s.value for s in sites if not site_counts.get(s)]
-    if missing:
-        executed = sorted(s.value for s in site_counts)
-        raise ValueError(
-            f"sites {missing} never execute under scheme "
-            f"{params.get('scheme', 'efta_unified')!r}; available: {executed}"
-        )
-    bits = [int(b) for b in params.get("bits", [12, 13, 14])]
-    dtype = str(params.get("dtype", "fp16"))
     tol = float(params.get("correction_tol", 0.02))
+    replay = _resolve_faultload_trial(params)
+    if replay is not None:
+        _, specs, fault_digest = replay
+        at_rest = [get_fault_model(s.fault_model).at_rest for s in specs]
+        if any(at_rest):
+            if not all(at_rest):
+                raise ValueError(
+                    "faultload mixes at-rest and computational fault models; "
+                    "generate separate artifacts"
+                )
+            record = _run_at_rest_trial(rng, model, ids, clean_logits, tol, specs)
+        else:
+            _validate_sites(
+                sorted({s.site for s in specs}, key=lambda s: s.value),
+                site_counts,
+                params,
+            )
+            injector = FaultInjector(specs=list(specs), seed=int(rng.integers(2**31)))
+            output = model(ids, injector=injector)
+            record = _transformer_outcome(output, clean_logits, len(injector.records), tol)
+        record["fault_digest"] = fault_digest
+        return record
+
+    fault_model = str(params.get("fault_model", "seu"))
+    model_params = dict(params.get("model_params", {}))
+    fmodel = get_fault_model(fault_model)
+    bits = [int(b) for b in params.get("bits", [12, 13, 14] if not fmodel.at_rest else [26, 28, 30])]
+    dtype = str(params.get("dtype", "fp16" if not fmodel.at_rest else fmodel.default_dtype))
 
     if "bit_error_rate" in params:
         ber = float(params["bit_error_rate"])
@@ -910,6 +1060,25 @@ def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict
         n_faults = int(rng.poisson(ber * exposure_bits))
     else:
         n_faults = 1
+
+    if fmodel.at_rest:
+        specs = [
+            FaultSpec(
+                site=FaultSite.LINEAR,
+                bit=bits[int(rng.integers(len(bits)))],
+                dtype=dtype,
+                fault_model=fault_model,
+                model_params=model_params,
+            )
+            for _ in range(n_faults)
+        ]
+        return _run_at_rest_trial(rng, model, ids, clean_logits, tol, specs)
+
+    sites = params.get("site", "linear")
+    if isinstance(sites, str):
+        sites = [sites]
+    sites = [FaultSite(str(s)) for s in sites]
+    _validate_sites(sites, site_counts, params)
 
     def one_spec() -> FaultSpec:
         site = sites[int(rng.integers(len(sites)))]
@@ -920,25 +1089,14 @@ def _transformer_inference_trial(rng: np.random.Generator, params: dict) -> dict
             bit=bits[int(rng.integers(len(bits)))],
             dtype=dtype,
             occurrence=int(rng.integers(site_counts[site])),
+            fault_model=fault_model,
+            model_params=model_params,
         )
 
     specs = [one_spec() for _ in range(n_faults)]
     injector = FaultInjector(specs=specs, seed=int(rng.integers(2**31)))
     output = model(ids, injector=injector)
-    applied = len(injector.records)
-
-    denom = max(float(np.abs(clean_logits).max()), 1e-12)
-    deviation = float(np.abs(output.logits - clean_logits).max())
-    if not np.isfinite(deviation):
-        deviation = 10.0 * denom
-    rel_err = min(deviation / denom, 10.0)
-    return TrialOutcome(
-        injected=applied,
-        detected=int(output.report.total_detections),
-        corrected=applied if rel_err < tol else 0,
-        false_alarm=bool(applied == 0 and output.report.detected_any),
-        output_rel_error=rel_err if applied else 0.0,
-    ).to_dict()
+    return _transformer_outcome(output, clean_logits, len(injector.records), tol)
 
 
 # The batched transformer kernel lives in its own module (it pulls in the

@@ -6,6 +6,13 @@ which applies any pending :class:`FaultSpec` matching that site (and block),
 records what it did, and returns.  Fault-free runs simply use an un-armed
 injector (or ``None``), so protection code paths are identical with and
 without faults.
+
+*How* a matching tensor is corrupted is delegated to the spec's registered
+fault model (:mod:`repro.fault.dictionary`); the default ``"seu"`` model
+reproduces the historical single-bit-flip behaviour byte-for-byte.  Models
+flagged ``persistent`` (stuck-at bits, intermittent faults) keep receiving
+matching offers for the rest of the trial instead of retiring after their
+first application.
 """
 
 from __future__ import annotations
@@ -22,19 +29,23 @@ from repro.fault.models import FaultSite, FaultSpec, InjectionRecord
 class _PendingFault:
     spec: FaultSpec
     remaining_skips: int
+    model: object = None
     applied: bool = False
+    state: dict = field(default_factory=dict)
 
 
 @dataclass
 class FaultInjector:
-    """Applies planned single-event upsets to kernel intermediates.
+    """Applies planned faults to kernel intermediates.
 
     Parameters
     ----------
     specs:
         Faults to apply.  Under the paper's SEU assumption each detection /
         correction cycle sees at most one fault, but the injector supports an
-        arbitrary list so multi-error scenarios can be studied too.
+        arbitrary list so multi-error scenarios can be studied too.  Each
+        spec's ``fault_model`` selects the corruption strategy; unknown names
+        fail here at construction, not mid-kernel.
     seed:
         Seed for the generator that draws unspecified element/bit positions.
     """
@@ -44,8 +55,17 @@ class FaultInjector:
     records: list[InjectionRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        from repro.fault.dictionary import get_fault_model
+
         self._rng = np.random.default_rng(self.seed)
-        self._pending = [_PendingFault(spec=s, remaining_skips=s.occurrence) for s in self.specs]
+        self._pending = [
+            _PendingFault(
+                spec=s,
+                remaining_skips=s.occurrence,
+                model=get_fault_model(s.fault_model),
+            )
+            for s in self.specs
+        ]
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -58,9 +78,20 @@ class FaultInjector:
         bit: int | None = None,
         dtype: str = "fp16",
         occurrence: int = 0,
+        fault_model: str = "seu",
+        model_params: dict | None = None,
     ) -> "FaultInjector":
-        """Convenience constructor for the SEU model: exactly one bit flip."""
-        spec = FaultSpec(site=site, block=block, index=index, bit=bit, dtype=dtype, occurrence=occurrence)
+        """Convenience constructor for one planned fault (SEU by default)."""
+        spec = FaultSpec(
+            site=site,
+            block=block,
+            index=index,
+            bit=bit,
+            dtype=dtype,
+            occurrence=occurrence,
+            fault_model=fault_model,
+            model_params=dict(model_params or {}),
+        )
         return cls(specs=[spec], seed=seed)
 
     @classmethod
@@ -71,8 +102,13 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     @property
     def armed(self) -> bool:
-        """Whether any planned fault has not yet been applied."""
-        return any(not p.applied for p in self._pending)
+        """Whether any planned fault can still fire.
+
+        One-shot faults disarm after applying; persistent models (stuck-at,
+        intermittent) stay armed for the whole trial so every later matching
+        offer reaches them.
+        """
+        return any(not p.applied or p.model.persistent for p in self._pending)
 
     @property
     def applied_count(self) -> int:
@@ -81,8 +117,17 @@ class FaultInjector:
 
     def reset(self) -> None:
         """Re-arm all planned faults and clear the applied records."""
+        from repro.fault.dictionary import get_fault_model
+
         self.records.clear()
-        self._pending = [_PendingFault(spec=s, remaining_skips=s.occurrence) for s in self.specs]
+        self._pending = [
+            _PendingFault(
+                spec=s,
+                remaining_skips=s.occurrence,
+                model=get_fault_model(s.fault_model),
+            )
+            for s in self.specs
+        ]
         self._rng = np.random.default_rng(self.seed)
 
     # ------------------------------------------------------------------ #
@@ -103,48 +148,20 @@ class FaultInjector:
         array = np.asarray(array)
         for pending in self._pending:
             spec = pending.spec
-            if pending.applied or spec.site != site:
+            if spec.site != site:
+                continue
+            if pending.applied and not pending.model.persistent:
                 continue
             if spec.block is not None and block is not None and tuple(spec.block) != tuple(block):
                 continue
-            if pending.remaining_skips > 0:
+            if not pending.applied and pending.remaining_skips > 0:
                 pending.remaining_skips -= 1
                 continue
-            record = self._apply(spec, array, block)
+            records = pending.model.apply(spec, array, self._rng, pending.state, block)
             pending.applied = True
-            self.records.append(record)
-            applied_now.append(record)
+            self.records.extend(records)
+            applied_now.extend(records)
         return applied_now
-
-    # ------------------------------------------------------------------ #
-    def _apply(
-        self, spec: FaultSpec, array: np.ndarray, block: tuple[int, int] | None
-    ) -> InjectionRecord:
-        if array.size == 0:
-            raise ValueError("cannot inject a fault into an empty array")
-        if spec.index is not None:
-            index = tuple(spec.index)
-            if len(index) != array.ndim:
-                raise ValueError(
-                    f"fault index {index} has wrong rank for array of shape {array.shape}"
-                )
-        else:
-            flat = int(self._rng.integers(array.size))
-            index = tuple(int(i) for i in np.unravel_index(flat, array.shape))
-        rep_dtype = np.float16 if spec.dtype == "fp16" else np.float32
-        width = bit_width(rep_dtype)
-        bit = spec.bit if spec.bit is not None else int(self._rng.integers(width))
-        original = float(array[index])
-        corrupted = flip_bit(original, bit, rep_dtype)
-        array[index] = corrupted
-        return InjectionRecord(
-            site=spec.site,
-            block=block,
-            index=index,
-            bit=bit,
-            original=original,
-            corrupted=float(array[index]),
-        )
 
 
 def inject_bit_errors(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class FaultSite(str, enum.Enum):
@@ -50,6 +50,13 @@ class FaultSpec:
     occurrence:
         Which matching invocation to corrupt (0 = first).  Lets campaigns
         target, e.g., the third inner iteration without knowing block ids.
+    fault_model:
+        Name of the registered :class:`~repro.fault.dictionary.FaultModel`
+        that applies this fault.  The default ``"seu"`` reproduces the
+        historical single-bit-flip injector byte-for-byte.
+    model_params:
+        Model-specific knobs (e.g. ``burst_len`` for ``multi_bit_burst``,
+        ``p`` for ``intermittent``); ignored by models without knobs.
     """
 
     site: FaultSite
@@ -58,12 +65,49 @@ class FaultSpec:
     bit: int | None = None
     dtype: str = "fp16"
     occurrence: int = 0
+    fault_model: str = "seu"
+    model_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.dtype not in ("fp16", "fp32"):
             raise ValueError("dtype must be 'fp16' or 'fp32'")
         if self.occurrence < 0:
             raise ValueError("occurrence must be non-negative")
+
+    def to_dict(self) -> dict:
+        """Lossless JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "site": self.site.value,
+            "block": list(self.block) if self.block is not None else None,
+            "index": list(self.index) if self.index is not None else None,
+            "bit": self.bit,
+            "dtype": self.dtype,
+            "occurrence": self.occurrence,
+            "fault_model": self.fault_model,
+            "model_params": dict(self.model_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output, rejecting unknown keys."""
+        unknown = set(data) - {
+            "site", "block", "index", "bit", "dtype",
+            "occurrence", "fault_model", "model_params",
+        }
+        if unknown:
+            raise ValueError(f"unknown FaultSpec keys: {sorted(unknown)}")
+        block = data.get("block")
+        index = data.get("index")
+        return cls(
+            site=FaultSite(data["site"]),
+            block=tuple(block) if block is not None else None,
+            index=tuple(index) if index is not None else None,
+            bit=data.get("bit"),
+            dtype=data.get("dtype", "fp16"),
+            occurrence=data.get("occurrence", 0),
+            fault_model=data.get("fault_model", "seu"),
+            model_params=dict(data.get("model_params") or {}),
+        )
 
 
 @dataclass

@@ -190,9 +190,15 @@ class CampaignDefinition:
     trial: TrialFn
     aggregate: AggregateFn = default_aggregate
     batch: BatchTrialFn | None = None
+    #: Whether the kernel understands the ``fault_model`` / ``faultload``
+    #: params (dictionary-driven injection); surfaced by ``list-campaigns``.
+    accepts_fault_model: bool = False
 
     def run_batch(
-        self, rngs: Sequence[np.random.Generator], params_json: str
+        self,
+        rngs: Sequence[np.random.Generator],
+        params_json: str,
+        indices: Sequence[int] | None = None,
     ) -> list[TrialRecord]:
         """Run one chunk of trials, preferring the batched kernel.
 
@@ -203,9 +209,18 @@ class CampaignDefinition:
         when the chunk is a single trial (the oracle path), or when the
         batched kernel declines the parameter combination by returning
         ``None``.
+
+        ``indices`` are the chunk's absolute trial indices.  They are only
+        threaded into the params (as ``_trial_indices`` for the batched
+        kernel, ``_trial_index`` per scalar trial) when the campaign replays
+        a ``"faultload"`` artifact, which is keyed by absolute trial.
         """
+        faultload_mode = indices is not None and "faultload" in json.loads(params_json)
         if self.batch is not None and len(rngs) > 1:
-            records = self.batch(list(rngs), json.loads(params_json))
+            batch_params = json.loads(params_json)
+            if faultload_mode:
+                batch_params["_trial_indices"] = list(indices)
+            records = self.batch(list(rngs), batch_params)
             if records is not None:
                 if len(records) != len(rngs):
                     raise RuntimeError(
@@ -213,26 +228,40 @@ class CampaignDefinition:
                         f"{len(records)} records for {len(rngs)} trials"
                     )
                 return list(records)
-        return [self.trial(rng, json.loads(params_json)) for rng in rngs]
+        records = []
+        for position, rng in enumerate(rngs):
+            params = json.loads(params_json)
+            if faultload_mode:
+                params["_trial_index"] = int(indices[position])
+            records.append(self.trial(rng, params))
+        return records
 
 
 _REGISTRY: dict[str, CampaignDefinition] = {}
 
 
-def register_campaign(name: str, aggregate: AggregateFn | None = None) -> Callable[[TrialFn], TrialFn]:
+def register_campaign(
+    name: str,
+    aggregate: AggregateFn | None = None,
+    accepts_fault_model: bool = False,
+) -> Callable[[TrialFn], TrialFn]:
     """Decorator registering ``trial(rng, params) -> record`` under ``name``.
 
     The record must be a JSON-serialisable dict (it is persisted verbatim to
     the JSONL results file).  ``aggregate(records, params)`` builds the final
     result object; the default treats records as :class:`TrialOutcome` fields
-    and returns a :class:`CampaignResult`.
+    and returns a :class:`CampaignResult`.  ``accepts_fault_model`` marks
+    kernels that honour the ``fault_model`` / ``faultload`` params.
     """
 
     def decorator(trial: TrialFn) -> TrialFn:
         if name in _REGISTRY:
             raise ValueError(f"campaign {name!r} is already registered")
         _REGISTRY[name] = CampaignDefinition(
-            name=name, trial=trial, aggregate=aggregate or default_aggregate
+            name=name,
+            trial=trial,
+            aggregate=aggregate or default_aggregate,
+            accepts_fault_model=accepts_fault_model,
         )
         return trial
 
@@ -319,7 +348,8 @@ def _iter_trial_records(spec_dict: dict, indices: Sequence[int]):
     for start in range(0, len(items), chunk):
         batch_indices = items[start : start + chunk]
         rngs = [np.random.default_rng(seeds[index]) for index in batch_indices]
-        for index, record in zip(batch_indices, definition.run_batch(rngs, params_json)):
+        records = definition.run_batch(rngs, params_json, indices=batch_indices)
+        for index, record in zip(batch_indices, records):
             yield index, record
 
 

@@ -142,6 +142,83 @@ class TestListCampaigns:
         assert "burst fault events" in by_name["abft_error_coverage"]
         assert "Transformer forward pass" in by_name["transformer_inference"]
 
+    def test_marks_campaigns_accepting_fault_models(self, capsys):
+        assert main(["list-campaigns"]) == 0
+        by_name = {
+            line.split()[0]: line
+            for line in capsys.readouterr().out.strip().splitlines()
+        }
+        assert "[accepts fault_model]" in by_name["transformer_inference"]
+        assert "[accepts fault_model]" in by_name["efta_site_resilience"]
+        assert "[accepts fault_model]" not in by_name["abft_error_coverage"]
+
+
+class TestListFaultModels:
+    def test_lists_sorted_models_with_summaries(self, capsys):
+        assert main(["list-fault-models"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        assert "seu" in names
+        assert "stuck_at_0" in names
+        by_name = {line.split()[0]: line for line in lines}
+        assert "Single-event upset" in by_name["seu"]
+
+
+class TestFaultloadVerbs:
+    def test_generate_then_describe(self, tmp_path, capsys):
+        out = tmp_path / "fl.jsonl"
+        assert main([
+            "faultload", "generate", "--model", "stuck_at_0",
+            "--trials", "3", "--seed", "7", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["faultload", "describe", str(out), "--digests"]) == 0
+        text = capsys.readouterr().out
+        assert 'model: "stuck_at_0"' in text
+        assert "n_trials: 3" in text
+        assert "trial 2: " in text
+
+    def test_generate_unknown_model_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "faultload", "generate", "--model", "nope",
+                "--trials", "3", "--out", str(tmp_path / "fl.jsonl"),
+            ])
+        assert "unknown fault model" in capsys.readouterr().err
+
+    def test_describe_bad_schema_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"faultload": {"schema_version": 99, "n_trials": 0}}\n')
+        with pytest.raises(SystemExit):
+            main(["faultload", "describe", str(bad)])
+        assert "unsupported faultload schema version" in capsys.readouterr().err
+
+    def test_run_replays_generated_faultload(self, tmp_path, capsys):
+        fl = tmp_path / "fl.jsonl"
+        assert main([
+            "faultload", "generate", "--model", "stuck_at_0",
+            "--trials", "3", "--out", str(fl),
+        ]) == 0
+        spec_file = tmp_path / "replay.json"
+        spec_file.write_text(json.dumps({
+            "campaign": "transformer_inference",
+            "n_trials": 3,
+            "seed": 5,
+            "params": {"scheme": "none", "hidden_dim": 16, "seq_len": 8},
+            "faultload": str(fl),
+        }))
+        results = tmp_path / "out.jsonl"
+        assert main(["run", str(spec_file), "--results", str(results)]) == 0
+        digests = [
+            json.loads(line)["record"]["fault_digest"]
+            for line in results.read_text().splitlines()[1:]
+        ]
+        from repro.fault.dictionary import load_faultload
+
+        assert digests == [load_faultload(fl).digest_for(t) for t in range(3)]
+
 
 class TestReport:
     def test_reports_campaign_file(self, campaign_file, tmp_path, capsys):

@@ -178,6 +178,79 @@ class TestByteParityAllCampaigns:
         assert batched == scalar
 
 
+class TestFaultModelParity:
+    """Byte parity must hold for every fault-dictionary model, not just SEU."""
+
+    @pytest.mark.parametrize(
+        "model, model_params",
+        [
+            ("stuck_at_0", {}),
+            ("stuck_at_1", {}),
+            ("multi_bit_burst", {"burst_len": 3}),
+            ("intermittent", {"p": 0.5}),
+            ("row_line", {}),
+            ("col_line", {}),
+            ("ber", {"bit_error_rate": 1e-4}),
+        ],
+    )
+    def test_transformer_fault_models(self, model, model_params, tmp_path, monkeypatch):
+        params = {
+            "scheme": "efta_unified",
+            "hidden_dim": 16,
+            "seq_len": 8,
+            "fault_model": model,
+            "model_params": model_params,
+        }
+        scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, 6, params)
+        batched = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 5, 6, params)
+        assert batched == scalar
+
+    def test_transformer_at_rest_model(self, tmp_path, monkeypatch):
+        # The batched kernel declines at-rest models; the scalar fallback must
+        # still land byte-identically whatever the configured batch size.
+        params = {
+            "scheme": "efta",
+            "hidden_dim": 16,
+            "seq_len": 8,
+            "fault_model": "weights_at_rest",
+        }
+        scalar = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 1, 6, params)
+        batched = _run_bytes(monkeypatch, tmp_path, "transformer_inference", 5, 6, params)
+        assert batched == scalar
+
+    @pytest.mark.parametrize("model", ["stuck_at_0", "multi_bit_burst"])
+    def test_efta_site_fault_models(self, model, tmp_path, monkeypatch):
+        params = {
+            "site": "gemm_qk",
+            "seq_len": 32,
+            "head_dim": 16,
+            "fault_model": model,
+        }
+        scalar = _run_bytes(monkeypatch, tmp_path, "efta_site_resilience", 1, 6, params)
+        batched = _run_bytes(monkeypatch, tmp_path, "efta_site_resilience", 4, 6, params)
+        assert batched == scalar
+
+    @pytest.mark.parametrize(
+        "campaign, params",
+        [
+            ("transformer_inference", {"scheme": "efta_unified", "hidden_dim": 16, "seq_len": 8}),
+            ("efta_site_resilience", {"seq_len": 32, "head_dim": 16}),
+        ],
+    )
+    def test_faultload_replay_parity(self, campaign, params, tmp_path, monkeypatch):
+        from repro.fault.dictionary import FaultloadGenerator
+
+        site = "linear" if campaign == "transformer_inference" else "gemm_qk"
+        fl = tmp_path / "fl.jsonl"
+        FaultloadGenerator(
+            model="stuck_at_0", n_trials=6, seed=11, site=site
+        ).generate().write(fl)
+        params = {**params, "faultload": str(fl)}
+        scalar = _run_bytes(monkeypatch, tmp_path, campaign, 1, 6, params)
+        batched = _run_bytes(monkeypatch, tmp_path, campaign, 4, 6, params)
+        assert batched == scalar
+
+
 class TestBatchedKernelContracts:
     def test_scheme_without_batched_forward_declines_before_consuming_rngs(self):
         # A scheme whose attention kernel has no stacked forward must decline

@@ -1,0 +1,298 @@
+"""Tests of the fault dictionary: model registry, built-ins, faultloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fault.dictionary import (
+    FAULTLOAD_SCHEMA_VERSION,
+    FaultModel,
+    Faultload,
+    FaultloadGenerator,
+    available_fault_models,
+    fault_model_summaries,
+    faultload_digest,
+    get_fault_model,
+    load_faultload,
+    register_fault_model,
+)
+from repro.fault.injector import FaultInjector
+from repro.fault.models import FaultSite, FaultSpec
+
+
+BUILTINS = [
+    "ber",
+    "col_line",
+    "intermittent",
+    "multi_bit_burst",
+    "row_line",
+    "seu",
+    "stuck_at_0",
+    "stuck_at_1",
+    "weights_at_rest",
+]
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        assert available_fault_models() == BUILTINS
+
+    def test_unknown_model_raises_with_registered_names(self):
+        with pytest.raises(ValueError, match="unknown fault model 'cosmic_ray'"):
+            get_fault_model("cosmic_ray")
+        with pytest.raises(ValueError, match="stuck_at_0"):
+            get_fault_model("cosmic_ray")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_model("seu")(FaultModel)
+
+    def test_summaries_are_one_line_per_model(self):
+        summaries = fault_model_summaries()
+        assert [name for name, _ in summaries] == BUILTINS
+        assert all("\n" not in text and text for _, text in summaries)
+
+    def test_unknown_model_fails_at_injector_construction(self):
+        spec = FaultSpec(site=FaultSite.LINEAR, fault_model="nope")
+        with pytest.raises(ValueError, match="unknown fault model"):
+            FaultInjector(specs=[spec], seed=0)
+
+    def test_unknown_model_fails_at_generator_construction(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            FaultloadGenerator(model="nope", n_trials=2)
+
+
+def _offer(injector, array, site=FaultSite.LINEAR):
+    corrupted = array.copy()
+    injector.corrupt(site, corrupted)
+    return corrupted
+
+
+class TestBuiltinModels:
+    def test_seu_matches_legacy_single_bit_flip(self):
+        # The default model must reproduce the historical injector behaviour:
+        # one flat-index draw, one bit draw, one flipped element.
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal((6, 5)).astype(np.float32)
+        injector = FaultInjector.single_bit_flip(FaultSite.LINEAR, seed=3, bit=13)
+        out = _offer(injector, array)
+        assert len(injector.records) == 1
+        assert (out != array).sum() == 1
+        assert injector.records[0].bit == 13
+
+    def test_stuck_at_persists_across_offers_at_same_cell(self):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR, seed=5, bit=30, dtype="fp32", fault_model="stuck_at_1"
+        )
+        rng = np.random.default_rng(1)
+        first = rng.standard_normal((4, 4)).astype(np.float32)
+        second = rng.standard_normal((4, 4)).astype(np.float32)
+        _offer(injector, first)
+        assert injector.armed  # persistent: keeps accepting offers
+        _offer(injector, second)
+        cells = {record.index for record in injector.records}
+        assert len(cells) == 1  # every manifestation hits one memory position
+        assert all(record.bit == 30 for record in injector.records)
+
+    def test_stuck_at_0_on_already_low_bit_changes_nothing(self):
+        array = np.zeros((3, 3), dtype=np.float32)  # every bit already 0
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR, seed=2, bit=12, dtype="fp32", fault_model="stuck_at_0"
+        )
+        out = _offer(injector, array)
+        assert injector.records == []
+        np.testing.assert_array_equal(out, array)
+
+    def test_multi_bit_burst_flips_adjacent_bits(self):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR,
+            seed=7,
+            bit=20,
+            dtype="fp32",
+            fault_model="multi_bit_burst",
+            model_params={"burst_len": 3},
+        )
+        array = np.ones((4, 4), dtype=np.float32)
+        _offer(injector, array)
+        assert [record.bit for record in injector.records] == [20, 21, 22]
+        assert len({record.index for record in injector.records}) == 1
+
+    def test_multi_bit_burst_clips_at_word_width(self):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR,
+            seed=7,
+            bit=15,
+            dtype="fp16",
+            fault_model="multi_bit_burst",
+            model_params={"burst_len": 4},
+        )
+        _offer(injector, np.ones((4, 4), dtype=np.float32))
+        assert [record.bit for record in injector.records] == [15]
+
+    @pytest.mark.parametrize(
+        "model, axis", [("row_line", 0), ("col_line", 1)]
+    )
+    def test_memory_line_corrupts_one_whole_line(self, model, axis):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR, seed=9, bit=22, dtype="fp32", fault_model=model
+        )
+        array = np.ones((5, 7), dtype=np.float32)
+        out = _offer(injector, array)
+        line_len = array.shape[1] if model == "row_line" else array.shape[0]
+        assert len(injector.records) == line_len
+        # One coordinate is fixed across the whole line, the other sweeps.
+        fixed = {record.index[axis] for record in injector.records}
+        swept = {record.index[1 - axis] for record in injector.records}
+        assert len(fixed) == 1
+        assert len(swept) == line_len
+        assert (out != array).sum() == line_len
+
+    def test_intermittent_first_offer_always_fires(self):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR,
+            seed=4,
+            bit=13,
+            fault_model="intermittent",
+            model_params={"p": 0.0},
+        )
+        _offer(injector, np.ones((4, 4), dtype=np.float32))
+        assert len(injector.records) == 1  # p=0 still guarantees the first hit
+        _offer(injector, np.ones((4, 4), dtype=np.float32))
+        assert len(injector.records) == 1  # and p=0 forbids every later one
+
+    def test_intermittent_refires_with_p_one(self):
+        injector = FaultInjector.single_bit_flip(
+            FaultSite.LINEAR,
+            seed=4,
+            bit=13,
+            fault_model="intermittent",
+            model_params={"p": 1.0},
+        )
+        for _ in range(3):
+            _offer(injector, np.ones((4, 4), dtype=np.float32))
+        assert len(injector.records) == 3
+
+    def test_ber_requires_bit_error_rate(self):
+        spec = FaultSpec(site=FaultSite.LINEAR, fault_model="ber")
+        injector = FaultInjector(specs=[spec], seed=0)
+        with pytest.raises(ValueError, match="bit_error_rate"):
+            injector.corrupt(FaultSite.LINEAR, np.ones((4, 4), dtype=np.float32))
+
+    def test_weights_at_rest_is_flagged_at_rest(self):
+        assert get_fault_model("weights_at_rest").at_rest
+        assert not get_fault_model("weights_at_rest").persistent
+        assert get_fault_model("stuck_at_0").persistent
+        assert not get_fault_model("seu").persistent
+
+    def test_materialize_is_deterministic(self):
+        model = get_fault_model("seu")
+        params = {"site": "gemm_qk", "n_faults": 3, "bits": [12, 13, 14]}
+        a = model.materialize(np.random.default_rng(8), (16, 16), dict(params))
+        b = model.materialize(np.random.default_rng(8), (16, 16), dict(params))
+        assert a == b
+        assert all(spec.index is not None and spec.bit in (12, 13, 14) for spec in a)
+
+    def test_materialize_without_shape_leaves_index_unpinned(self):
+        specs = get_fault_model("seu").materialize(np.random.default_rng(8), None, {})
+        assert [spec.index for spec in specs] == [None]
+        assert specs[0].bit is not None  # the bit is always pinned
+
+
+class TestFaultSpecSerialisation:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            site=FaultSite.GEMM_QK,
+            block=(0, 1),
+            index=(3, 4),
+            bit=13,
+            dtype="fp16",
+            occurrence=2,
+            fault_model="stuck_at_1",
+            model_params={"p": 0.5},
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        data = FaultSpec(site=FaultSite.LINEAR).to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown FaultSpec keys"):
+            FaultSpec.from_dict(data)
+
+
+class TestFaultloadArtifacts:
+    def test_generate_is_deterministic(self):
+        gen = FaultloadGenerator(model="stuck_at_0", n_trials=5, seed=3)
+        assert gen.generate().to_jsonl() == gen.generate().to_jsonl()
+
+    def test_round_trip_preserves_specs_and_bytes(self):
+        faultload = FaultloadGenerator(
+            model="multi_bit_burst",
+            n_trials=4,
+            seed=9,
+            bits=(12, 13),
+            n_faults=2,
+            shape=(8, 8),
+            model_params={"burst_len": 3},
+        ).generate()
+        text = faultload.to_jsonl()
+        loaded = Faultload.from_jsonl(text)
+        assert loaded.trials == faultload.trials
+        assert loaded.to_jsonl() == text
+
+    def test_digest_streams_match_specs(self):
+        faultload = FaultloadGenerator(model="seu", n_trials=3, seed=1).generate()
+        for trial in range(faultload.n_trials):
+            assert faultload.digest_for(trial) == faultload_digest(
+                faultload.specs_for(trial)
+            )
+
+    def test_specs_for_out_of_range(self):
+        faultload = FaultloadGenerator(model="seu", n_trials=2, seed=1).generate()
+        with pytest.raises(IndexError, match="trials 0..1"):
+            faultload.specs_for(2)
+
+    def test_unsupported_schema_version_rejected(self):
+        faultload = FaultloadGenerator(model="seu", n_trials=2, seed=1).generate()
+        text = faultload.to_jsonl().replace(
+            f'"schema_version":{FAULTLOAD_SCHEMA_VERSION}', '"schema_version":99'
+        )
+        with pytest.raises(ValueError, match="unsupported faultload schema version 99"):
+            Faultload.from_jsonl(text)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            Faultload.from_jsonl('{"trial": 0, "specs": []}\n')
+
+    def test_empty_artifact_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Faultload.from_jsonl("")
+
+    def test_duplicate_trial_rejected(self):
+        faultload = FaultloadGenerator(model="seu", n_trials=1, seed=1).generate()
+        lines = faultload.to_jsonl().splitlines()
+        with pytest.raises(ValueError, match="repeats trial 0"):
+            Faultload.from_jsonl("\n".join([lines[0], lines[1], lines[1]]))
+
+    def test_missing_trial_rejected(self):
+        faultload = FaultloadGenerator(model="seu", n_trials=2, seed=1).generate()
+        lines = faultload.to_jsonl().splitlines()
+        with pytest.raises(ValueError, match="missing"):
+            Faultload.from_jsonl("\n".join(lines[:-1]) + "\n")
+
+    def test_load_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_faultload(tmp_path / "nope.jsonl")
+
+    def test_load_round_trips_through_disk_and_cache(self, tmp_path):
+        faultload = FaultloadGenerator(model="row_line", n_trials=3, seed=2).generate()
+        path = faultload.write(tmp_path / "fl.jsonl")
+        first = load_faultload(path)
+        assert first.trials == faultload.trials
+        assert load_faultload(path) is first  # unchanged file: cache hit
+
+    def test_generator_validates_inputs(self):
+        with pytest.raises(ValueError, match="n_trials"):
+            FaultloadGenerator(model="seu", n_trials=0)
+        with pytest.raises(ValueError, match="seed"):
+            FaultloadGenerator(model="seu", n_trials=1, seed=-1)

@@ -1,0 +1,77 @@
+"""Property-based tests: faultload JSONL artifacts round-trip losslessly.
+
+Whatever combination of model, seed, bit lists, pinned shapes and model
+parameters a faultload is generated from, serialising it and parsing it back
+must reproduce the identical spec lists and the identical bytes -- a replay
+run parses the artifact on every worker, so any lossy corner silently breaks
+the cross-scheme byte-parity guarantee.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fault.dictionary import (
+    Faultload,
+    FaultloadGenerator,
+    available_fault_models,
+    faultload_digest,
+)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+#: Sites every campaign kernel can match (the artifact stores the value).
+SITES = ["linear", "gemm_qk", "subtract_exp", "gemm_pv", "normalize"]
+
+generators = st.builds(
+    FaultloadGenerator,
+    model=st.sampled_from(available_fault_models()),
+    n_trials=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32),
+    site=st.sampled_from(SITES),
+    dtype=st.sampled_from([None, "fp16", "fp32"]),
+    bits=st.one_of(
+        st.none(),
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=4).map(tuple),
+    ),
+    n_faults=st.integers(min_value=1, max_value=3),
+    occurrence=st.integers(min_value=0, max_value=4),
+    shape=st.one_of(
+        st.none(),
+        st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=3).map(tuple),
+    ),
+    model_params=st.one_of(
+        st.none(),
+        st.fixed_dictionaries({}, optional={
+            "burst_len": st.integers(min_value=1, max_value=4),
+            "p": st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            "bit_error_rate": st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+        }),
+    ),
+)
+
+
+@given(generator=generators)
+@settings(**SETTINGS)
+def test_jsonl_round_trip_is_lossless(generator):
+    faultload = generator.generate()
+    text = faultload.to_jsonl()
+    loaded = Faultload.from_jsonl(text)
+    assert loaded.header == faultload.header
+    assert loaded.trials == faultload.trials
+    assert loaded.to_jsonl() == text
+
+
+@given(generator=generators)
+@settings(**SETTINGS)
+def test_generation_is_reproducible(generator):
+    assert generator.generate().to_jsonl() == generator.generate().to_jsonl()
+
+
+@given(generator=generators)
+@settings(**SETTINGS)
+def test_digests_survive_the_round_trip(generator):
+    faultload = generator.generate()
+    loaded = Faultload.from_jsonl(faultload.to_jsonl())
+    for trial in range(faultload.n_trials):
+        assert loaded.digest_for(trial) == faultload_digest(faultload.specs_for(trial))
