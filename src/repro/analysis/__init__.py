@@ -1,19 +1,33 @@
 """Analysis helpers: overhead/speedup arithmetic and table formatting for the benches."""
 
+from repro.analysis.decision import (
+    SchemeSummary,
+    annotate_dominance,
+    pareto_frontier,
+    scheme_overhead,
+    summarize_schemes,
+)
 from repro.analysis.overhead import geometric_mean, overhead_percent, scaled_series, speedup
 from repro.analysis.reporting import (
     format_campaign_result,
+    format_pareto_table,
     format_series,
     format_table,
     format_threshold_sweep,
 )
 
 __all__ = [
+    "SchemeSummary",
+    "annotate_dominance",
+    "pareto_frontier",
+    "scheme_overhead",
+    "summarize_schemes",
     "geometric_mean",
     "overhead_percent",
     "scaled_series",
     "speedup",
     "format_campaign_result",
+    "format_pareto_table",
     "format_series",
     "format_table",
     "format_threshold_sweep",

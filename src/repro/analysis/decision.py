@@ -1,0 +1,206 @@
+"""Decision support: Pareto-optimal protection schemes of a finished sweep.
+
+The paper's central trade-off is statistical protection (detection rate,
+coverage) against roofline overhead (the ``attention_cost`` /
+``transformer_cost`` models).  A sweep measures the first with Monte-Carlo
+confidence intervals; this module joins those intervals with the
+deterministic cost models and reports which schemes are *Pareto-optimal* --
+no other scheme is at least as good on both axes and strictly better on one
+-- plus, for each dominated scheme, who dominates it.  ``python -m repro
+pareto`` renders the result as a table.
+
+The join is by scheme: every grid point sharing a ``scheme`` value pools its
+trial counts (success/total pairs, so the interval tightens with the pooled
+sample), and the scheme's overhead comes from one deterministic cost-model
+trial evaluated at the sweep's shared parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.fault.metrics import binomial_interval
+
+#: Rate metrics where larger is better; ``false_alarm_rate`` is minimised.
+_HIGHER_BETTER = ("detection_rate", "coverage")
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """One scheme's pooled statistics, overhead and dominance annotation.
+
+    Attributes
+    ----------
+    scheme:
+        The scheme-axis value the grid points were pooled by.
+    n_points:
+        Grid points pooled into this row.
+    successes / n:
+        Pooled success/denominator counts of the metric (``n`` can be 0:
+        e.g. ``false_alarm_rate`` with no clean trials -- the rate is then
+        unmeasured, not 0%).
+    rate / interval:
+        Point estimate and confidence interval of the pooled metric, or
+        ``None`` when unmeasured.
+    overhead:
+        Roofline overhead of the scheme from the cost model (lower is
+        better), or ``None`` when the cost model does not know the scheme.
+    dominated_by:
+        Schemes that are at least as good on both axes and strictly better
+        on one.  Empty for Pareto-optimal (and for unmeasured) schemes.
+    """
+
+    scheme: str
+    n_points: int
+    successes: int
+    n: int
+    rate: float | None
+    interval: tuple[float, float] | None
+    overhead: float | None
+    dominated_by: tuple[str, ...] = ()
+
+    @property
+    def comparable(self) -> bool:
+        """Whether the scheme has both axes measured (can enter dominance)."""
+        return self.rate is not None and self.overhead is not None
+
+    @property
+    def pareto(self) -> bool:
+        """Whether the scheme is on the Pareto frontier."""
+        return self.comparable and not self.dominated_by
+
+
+def scheme_overhead(
+    scheme: Any, cost: str = "attention_cost", cost_params: dict | None = None
+) -> float | None:
+    """Roofline overhead of one scheme from a deterministic cost kernel.
+
+    Runs a single trial of the registered ``cost`` campaign with the scheme
+    plugged into ``cost_params`` and reads its overhead: the ``"overhead"``
+    record field when present (``attention_cost``), else the sum of
+    ``"*_overhead"`` fields (``transformer_cost``).  Returns ``None`` when
+    the cost model rejects the scheme (e.g. a baseline outside its registry)
+    -- the scheme then reports without an overhead instead of failing the
+    whole table.
+    """
+    from repro.exec.engine import run_experiment
+
+    params = {**(cost_params or {}), "scheme": scheme}
+    try:
+        record = run_experiment(
+            {"campaign": cost, "n_trials": 1, "params": params}
+        ).result.summary()
+    except (KeyError, ValueError):
+        return None
+    if "overhead" in record:
+        return float(record["overhead"])
+    parts = [
+        float(value)
+        for key, value in sorted(record.items())
+        if key.endswith("_overhead")
+    ]
+    if not parts:
+        raise ValueError(
+            f"cost campaign {cost!r} record has no 'overhead' or '*_overhead' "
+            f"field (got {sorted(record)}); it cannot price a scheme"
+        )
+    return sum(parts)
+
+
+def summarize_schemes(
+    result: Any,
+    metric: str = "detection_rate",
+    confidence: float = 0.95,
+    method: str = "wilson",
+    cost: str = "attention_cost",
+    cost_params: dict | None = None,
+    axis: str = "scheme",
+) -> list[SchemeSummary]:
+    """Pool a finished sweep's points by scheme and price each scheme.
+
+    ``result`` is an :class:`~repro.exec.results.ExperimentResult` whose
+    grid has an ``axis`` (default ``scheme``) axis; every point's aggregate
+    must expose ``metric_counts`` (campaign statistics do).  Rows come back
+    sorted by overhead then rate -- cheap and effective first -- with
+    unmeasured/unpriced schemes last.
+    """
+    if axis not in result.spec.axes:
+        raise ValueError(
+            f"experiment {result.spec.label!r} has no {axis!r} grid axis "
+            f"(axes: {result.spec.axes}); pareto analysis compares schemes"
+        )
+    pooled: dict[Any, list] = {}
+    for point in result.points:
+        scheme = point.point[axis]
+        counts = getattr(point.result, "metric_counts", None)
+        if counts is None:
+            raise ValueError(
+                f"grid point {point.point!r} aggregated to a "
+                f"{type(point.result).__name__} without metric_counts(); "
+                "pareto analysis needs campaign statistics"
+            )
+        pooled.setdefault(scheme, []).append(counts(metric))
+    summaries = []
+    for scheme, pairs in pooled.items():
+        successes = sum(s for s, _ in pairs)
+        n = sum(total for _, total in pairs)
+        if n:
+            rate: float | None = successes / n
+            interval = binomial_interval(
+                successes, n, confidence=confidence, method=method
+            )
+        else:
+            rate, interval = None, None
+        summaries.append(
+            SchemeSummary(
+                scheme=scheme,
+                n_points=len(pairs),
+                successes=successes,
+                n=n,
+                rate=rate,
+                interval=interval,
+                overhead=scheme_overhead(scheme, cost=cost, cost_params=cost_params),
+            )
+        )
+    summaries.sort(
+        key=lambda s: (
+            s.overhead is None,
+            s.overhead if s.overhead is not None else 0.0,
+            -(s.rate if s.rate is not None else 0.0),
+            str(s.scheme),
+        )
+    )
+    return annotate_dominance(summaries, metric=metric)
+
+
+def annotate_dominance(
+    summaries: list[SchemeSummary], metric: str = "detection_rate"
+) -> list[SchemeSummary]:
+    """Fill each scheme's ``dominated_by`` against the others.
+
+    Dominance is on point estimates: at least as good on both the metric
+    (direction set by ``metric``) and the overhead, strictly better on one.
+    Unmeasured/unpriced schemes neither dominate nor are dominated.
+    """
+    sign = 1.0 if metric in _HIGHER_BETTER else -1.0
+    annotated = []
+    for mine in summaries:
+        if not mine.comparable:
+            annotated.append(replace(mine, dominated_by=()))
+            continue
+        dominators = []
+        for other in summaries:
+            if other is mine or not other.comparable:
+                continue
+            gain = sign * (other.rate - mine.rate)
+            saving = mine.overhead - other.overhead
+            if gain >= 0 and saving >= 0 and (gain > 0 or saving > 0):
+                dominators.append(str(other.scheme))
+        annotated.append(replace(mine, dominated_by=tuple(dominators)))
+    return annotated
+
+
+def pareto_frontier(summaries: list[SchemeSummary]) -> list[SchemeSummary]:
+    """The Pareto-optimal subset, in the given (overhead-sorted) order."""
+    return [summary for summary in summaries if summary.pareto]

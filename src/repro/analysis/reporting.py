@@ -43,6 +43,8 @@ def format_series(name: str, xs: Sequence[object], ys: Sequence[float], fmt: str
 #: table on the left, compact sweep-table variant on the right).
 _CAMPAIGN_HEADERS = {
     "n_trials": "trials",
+    "n_injected": "injected",
+    "n_clean": "clean",
     "detection_rate": "detection rate",
     "false_alarm_rate": "false alarm rate",
     "coverage": "coverage",
@@ -50,6 +52,8 @@ _CAMPAIGN_HEADERS = {
 }
 _SWEEP_HEADERS = {
     "n_trials": "trials",
+    "n_injected": "injected",
+    "n_clean": "clean",
     "detection_rate": "detection",
     "false_alarm_rate": "false alarm",
     "coverage": "coverage",
@@ -185,6 +189,48 @@ def format_threshold_sweep(points, title: str | None = None) -> str:
     lines.append(format_series("fault detection rate", thresholds, [p.detection_rate for p in points]))
     lines.append(format_series("false alarm rate", thresholds, [p.false_alarm_rate for p in points]))
     return "\n".join(lines)
+
+
+def format_pareto_table(
+    summaries, metric: str = "detection_rate", title: str | None = None
+) -> str:
+    """Render scheme Pareto analysis (``repro pareto``) as one table.
+
+    One row per :class:`~repro.analysis.decision.SchemeSummary`: pooled
+    counts, the metric's point estimate with its confidence interval,
+    the roofline overhead, and the verdict -- ``pareto`` for frontier
+    schemes, ``dominated by ...`` otherwise.  An unmeasured metric (zero
+    denominator) or unpriced scheme renders ``n/a`` rather than a fake 0.
+    """
+    metric_header = _SWEEP_HEADERS.get(metric, metric)
+    headers = ["scheme", "points", "counts", metric_header, "ci", "overhead", "verdict"]
+    rows = []
+    for summary in summaries:
+        if summary.rate is None:
+            rate, interval = "n/a", "n/a"
+        else:
+            rate = f"{summary.rate:.4f}"
+            lo, hi = summary.interval
+            interval = f"[{lo:.4f}, {hi:.4f}]"
+        overhead = "n/a" if summary.overhead is None else f"{summary.overhead:.4f}"
+        if not summary.comparable:
+            verdict = "n/a (unmeasured)"
+        elif summary.pareto:
+            verdict = "pareto"
+        else:
+            verdict = "dominated by " + ", ".join(summary.dominated_by)
+        rows.append(
+            [
+                summary.scheme,
+                summary.n_points,
+                f"{summary.successes}/{summary.n}",
+                rate,
+                interval,
+                overhead,
+                verdict,
+            ]
+        )
+    return format_table(headers, rows, title=title)
 
 
 def _fmt(cell: object) -> str:

@@ -29,6 +29,7 @@ Importing the package also registers the deterministic roofline-cost kernels
 (:mod:`repro.exec.costing`) used by the table/figure benchmarks.
 """
 
+from repro.exec.adaptive import AdaptiveSpec, StopDecision
 from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
 from repro.exec.distributed import (
     DistributedExecutor,
@@ -75,6 +76,7 @@ from repro.exec.spec import ExperimentSpec, load_spec
 import repro.exec.costing  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
+    "AdaptiveSpec",
     "AsyncExecutor",
     "DistributedExecutor",
     "Executor",
@@ -89,6 +91,7 @@ __all__ = [
     "RecordSummary",
     "ScalePolicy",
     "SerialExecutor",
+    "StopDecision",
     "SummaryProtocol",
     "TrialCheckpoint",
     "TrialRecordSet",

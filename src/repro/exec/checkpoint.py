@@ -45,8 +45,14 @@ class TrialCheckpoint:
         """Records already on disk, keyed by trial index (resume state).
 
         Raises if the file belongs to a different campaign spec (everything
-        but the cosmetic ``name`` label participates in the identity check).
-        Torn lines from an interrupted write are skipped and recomputed.
+        but the cosmetic ``name`` label and the extendable ``n_trials`` count
+        participates in the identity check -- trial records are
+        count-invariant, so a file written at one ``n_trials`` resumes under
+        another).  Also raises if the file holds records *past* the spec's
+        trial count: they are committed trial data, and completing the run
+        would canonically rewrite the file without them -- a spec whose
+        ``n_trials`` shrank must not silently destroy results.  Torn lines
+        from an interrupted write are skipped and recomputed.
         """
         if self.path is None or not self.path.exists():
             return {}
@@ -56,7 +62,17 @@ class TrialCheckpoint:
                 f"{self.path} holds results for a different "
                 "campaign spec; refusing to resume"
             )
-        return {i: r for i, r in records.items() if i < self.spec.n_trials}
+        extra = sorted(i for i in records if i >= self.spec.n_trials)
+        if extra:
+            raise ValueError(
+                f"{self.path} holds {len(records)} committed trial records up "
+                f"to index {max(records)}, but the spec asks for only "
+                f"{self.spec.n_trials} trials; refusing to resume (completing "
+                "the run would rewrite the file and destroy the "
+                f"{len(extra)} records past the spec count -- raise n_trials "
+                "or point the run at a fresh results path)"
+            )
+        return dict(records)
 
     # ------------------------------------------------------------------ #
     def open(self, header: bool):
@@ -97,10 +113,18 @@ class TrialCheckpoint:
 
     # ------------------------------------------------------------------ #
     def write_canonical(self, ordered: Sequence[TrialRecord]) -> None:
-        """Rewrite the completed file in canonical trial-sorted order."""
+        """Rewrite the completed file in canonical trial-sorted order.
+
+        The header's ``n_trials`` is rewritten to the count actually on disk,
+        so an adaptively stopped (or topped-up) point reads back as a
+        complete, self-consistent campaign.  For fixed-count runs
+        ``len(ordered) == spec.n_trials`` and the bytes are unchanged.
+        """
         if self.path is None:
             return
-        lines = [_canonical_json({"spec": self.spec.to_dict()})]
+        header_spec = self.spec.to_dict()
+        header_spec["n_trials"] = len(ordered)
+        lines = [_canonical_json({"spec": header_spec})]
         lines += [
             _canonical_json({"trial": i, "record": record})
             for i, record in enumerate(ordered)
@@ -139,6 +163,9 @@ def parse_results_text(text: str) -> tuple[dict | None, dict[int, TrialRecord]]:
             spec_dict = entry["spec"]
             continue
         index = entry.get("trial")
-        if isinstance(index, int) and index >= 0:
+        if isinstance(index, int) and index >= 0 and "record" in entry:
+            # A trial line without its record (torn mid-line, or hand-edited)
+            # is skipped like an unparseable line: resume recomputes the
+            # trial instead of crashing on the incomplete entry.
             records[index] = entry["record"]
     return spec_dict, records

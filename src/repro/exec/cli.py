@@ -11,6 +11,7 @@
     python -m repro faultload generate --model NAME --trials N --out fl.jsonl
     python -m repro faultload describe fl.jsonl
     python -m repro report PATH [PATH ...]
+    python -m repro pareto PATH [--metric detection_rate] [--cost attention_cost]
 
 ``run`` auto-detects campaign vs. sweep specs (a ``grid`` key marks a sweep)
 and executes through any registered backend; ``--progress`` streams
@@ -21,7 +22,14 @@ pulls trial batches until the run ends; ``list-campaigns`` shows every
 registered trial kernel with its one-line summary; ``report`` re-renders
 finished JSONL results (a campaign file, an experiment stream, or a sweep
 results directory) without re-running anything -- for an interrupted run it
-prints the completion state instead and exits 1.
+prints the completion state instead and exits 1.  ``pareto`` joins a
+finished scheme sweep's detection statistics (with confidence intervals)
+against the roofline cost models and prints the Pareto-optimal scheme set.
+
+``run``/``sweep`` also take ``--target-ci`` (with ``--adaptive-batch`` /
+``--max-trials``) to run the spec adaptively: grid points stop early once
+their metric's confidence interval is tight enough and top up in batches
+otherwise -- equivalent to an ``"adaptive": {...}`` block in the spec.
 
 The legacy ``python -m repro.fault.runner`` / ``python -m repro.fault.sweep``
 entry points forward here with deprecation notices.
@@ -103,6 +111,36 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         default=5.0,
         metavar="SECONDS",
         help="minimum seconds between heartbeat lines (default: 5)",
+    )
+    adaptive = parser.add_argument_group(
+        "adaptive campaigns",
+        "CI-driven early stop and top-up; flags override the spec's "
+        '"adaptive" block field-by-field',
+    )
+    adaptive.add_argument(
+        "--target-ci",
+        type=_positive_float,
+        default=None,
+        metavar="HALF_WIDTH",
+        help="run adaptively: stop each grid point once its metric's "
+        "confidence-interval half-width is at most this (points whose CI "
+        "is still wide top up by --adaptive-batch more trials, up to "
+        "--max-trials)",
+    )
+    adaptive.add_argument(
+        "--adaptive-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trials per adaptive round (default: 32)",
+    )
+    adaptive.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-point trial cap of an adaptive run (default: the spec's "
+        "n_trials; set higher to let tight targets top up past it)",
     )
     distributed = parser.add_argument_group(
         "distributed executor", "options used only with --executor distributed"
@@ -194,6 +232,41 @@ def _check_results_path(parser: argparse.ArgumentParser, spec: ExperimentSpec, r
         )
 
 
+def _apply_adaptive_flags(
+    parser: argparse.ArgumentParser, spec: ExperimentSpec, args: argparse.Namespace
+) -> ExperimentSpec:
+    """Fold ``--target-ci``/``--adaptive-batch``/``--max-trials`` into the spec."""
+    from dataclasses import replace
+
+    from repro.exec.adaptive import AdaptiveSpec
+
+    overrides = {
+        key: value
+        for key, value in [
+            ("batch", args.adaptive_batch),
+            ("max_trials", args.max_trials),
+        ]
+        if value is not None
+    }
+    if args.target_ci is not None:
+        overrides["target_ci"] = args.target_ci
+    if not overrides:
+        return spec
+    try:
+        if spec.adaptive is not None:
+            adaptive = replace(spec.adaptive, **overrides)
+        elif args.target_ci is None:
+            parser.error(
+                "--adaptive-batch/--max-trials need --target-ci (or an "
+                '"adaptive" block in the spec) to run adaptively'
+            )
+        else:
+            adaptive = AdaptiveSpec(**overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
+    return replace(spec, adaptive=adaptive)
+
+
 def _load_spec(parser: argparse.ArgumentParser, path: str) -> ExperimentSpec:
     try:
         return ExperimentSpec.from_json(Path(path).read_text())
@@ -273,6 +346,7 @@ def _progress_listeners(args: argparse.Namespace):
 
 def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     spec = _load_spec(parser, args.spec)
+    spec = _apply_adaptive_flags(parser, spec, args)
     _check_results_path(parser, spec, args.results)
     if args.trial_batch is not None:
         import os
@@ -552,6 +626,116 @@ def _has_experiment_header(text: str) -> bool:
     return isinstance(head, dict) and "experiment" in head
 
 
+def _load_point_records(path: Path, campaign_spec) -> TrialRecordSet:
+    """Load one grid point's checkpoint, trusting the file's own trial count.
+
+    An adaptive run stops a point early (or tops it up past the sweep's
+    ``n_trials``) and rewrites the file header to the count actually on
+    disk; the manifest spec still carries the initial count, so the file
+    header decides completeness.  Identity is still checked -- the count is
+    the only field allowed to differ from the manifest's expansion.
+    """
+    from dataclasses import replace
+
+    from repro.exec.checkpoint import parse_results_text
+
+    text = path.read_text()
+    spec_dict, _ = parse_results_text(text)
+    spec = campaign_spec
+    if spec_dict is not None and isinstance(spec_dict.get("n_trials"), int):
+        spec = replace(campaign_spec, n_trials=spec_dict["n_trials"])
+    return TrialRecordSet.from_jsonl(text, spec=spec)
+
+
+def _load_experiment_result(parser: argparse.ArgumentParser, raw: str) -> ExperimentResult:
+    """Load a *finished* experiment from a sweep directory or stream file."""
+    path = Path(raw)
+    if not path.exists():
+        parser.error(f"results path {raw} does not exist")
+    if path.is_dir():
+        manifest = path / MANIFEST_NAME
+        if not manifest.exists():
+            parser.error(
+                f"results directory {raw} has no {MANIFEST_NAME} manifest; "
+                "run the sweep through `repro run --results` first"
+            )
+        spec, _progress = read_manifest(manifest)
+        points = []
+        for index, (point, campaign_spec) in enumerate(spec.expanded()):
+            point_path = campaign_results_path(path, index, campaign_spec)
+            if not point_path.exists():
+                parser.error(
+                    f"grid point {campaign_spec.label!r} has no results file "
+                    f"in {raw}; finish the run first (resume with the same "
+                    "spec + --results)"
+                )
+            try:
+                records = _load_point_records(point_path, campaign_spec)
+            except ValueError as exc:
+                parser.error(f"cannot parse {point_path}: {exc}")
+            if not records.complete:
+                parser.error(
+                    f"grid point {campaign_spec.label!r} is partial "
+                    f"({len(records.records)}/{records.spec.n_trials} trials); "
+                    "finish the run first"
+                )
+            points.append(
+                PointResult(
+                    index=index,
+                    point=point,
+                    spec=records.spec,
+                    records=records,
+                    result=records.aggregate(),
+                )
+            )
+        return ExperimentResult(spec=spec, points=points)
+    text = path.read_text()
+    if not _has_experiment_header(text):
+        parser.error(
+            f"{raw} is not an experiment stream or sweep results directory"
+        )
+    result = ExperimentResult.from_jsonl(text)
+    if not result.complete:
+        parser.error(f"experiment in {raw} is partial; finish the run first")
+    return result
+
+
+def cmd_pareto(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.analysis.decision import pareto_frontier, summarize_schemes
+    from repro.analysis.reporting import format_pareto_table
+
+    result = _load_experiment_result(parser, args.results)
+    cost_params = {}
+    if args.cost_params:
+        try:
+            cost_params = json.loads(args.cost_params)
+        except ValueError as exc:
+            parser.error(f"--cost-params is not valid JSON: {exc}")
+        if not isinstance(cost_params, dict):
+            parser.error("--cost-params must be a JSON object")
+    try:
+        summaries = summarize_schemes(
+            result,
+            metric=args.metric,
+            confidence=args.confidence,
+            method=args.method,
+            cost=args.cost,
+            cost_params=cost_params,
+            axis=args.axis,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    title = (
+        f"pareto: {result.spec.label} -- {args.metric} "
+        f"({100 * args.confidence:g}% {args.method}) vs {args.cost} overhead"
+    )
+    print(format_pareto_table(summaries, metric=args.metric, title=title))
+    frontier = pareto_frontier(summaries)
+    names = ", ".join(str(s.scheme) for s in frontier) if frontier else "(empty)"
+    print(f"pareto-optimal: {names}")
+    return 0
+
+
 def _report_directory(
     parser: argparse.ArgumentParser, path: Path
 ) -> list[tuple[str, bool]]:
@@ -572,11 +756,11 @@ def _report_directory(
         for index, (point, campaign_spec) in enumerate(spec.expanded()):
             point_path = campaign_results_path(path, index, campaign_spec)
             if point_path.exists():
-                records = TrialRecordSet.load(point_path, spec=campaign_spec)
+                records = _load_point_records(point_path, campaign_spec)
             else:
                 records = TrialRecordSet(spec=campaign_spec)
-            states.append((campaign_spec.label, len(records.records), campaign_spec.n_trials))
-            points.append((index, point, campaign_spec, records))
+            states.append((campaign_spec.label, len(records.records), records.spec.n_trials))
+            points.append((index, point, records.spec, records))
         if not all(done == total for _, done, total in states):
             label = f"{spec.kind}: {spec.label}"
             return [(_format_partial_points(label, states), False)]
@@ -783,6 +967,54 @@ def build_parser() -> argparse.ArgumentParser:
         "results", nargs="+", help="results files and/or sweep directories"
     )
     report.set_defaults(handler=cmd_report)
+
+    pareto = commands.add_parser(
+        "pareto",
+        help="join a finished scheme sweep's detection CIs with the roofline "
+        "cost models and print the Pareto-optimal scheme set",
+    )
+    pareto.add_argument(
+        "results",
+        help="finished sweep results: a directory written by `repro run "
+        "--results`, or an experiment JSONL stream",
+    )
+    pareto.add_argument(
+        "--metric",
+        default="detection_rate",
+        choices=["detection_rate", "false_alarm_rate", "coverage"],
+        help="pooled rate to trade against overhead (default: detection_rate)",
+    )
+    pareto.add_argument(
+        "--confidence",
+        type=_positive_float,
+        default=0.95,
+        help="confidence level of the interval column (default: 0.95)",
+    )
+    pareto.add_argument(
+        "--method",
+        default="wilson",
+        choices=["wilson", "clopper_pearson"],
+        help="binomial interval method (default: wilson)",
+    )
+    pareto.add_argument(
+        "--cost",
+        default="attention_cost",
+        help="deterministic cost campaign pricing each scheme "
+        "(default: attention_cost; transformer_cost also works)",
+    )
+    pareto.add_argument(
+        "--cost-params",
+        default="",
+        metavar="JSON",
+        help="cost-model parameters as a JSON object, "
+        'e.g. \'{"seq_len": 2048, "heads": 16}\'',
+    )
+    pareto.add_argument(
+        "--axis",
+        default="scheme",
+        help="grid axis to pool points by (default: scheme)",
+    )
+    pareto.set_defaults(handler=cmd_pareto)
     return parser
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -59,8 +60,17 @@ def progress_sidecar_path(results_path: str | Path) -> Path:
 
 
 def _experiment_resume_key(spec: ExperimentSpec) -> str:
-    """Resume-identity of an experiment: everything but the cosmetic name."""
-    data = {k: v for k, v in spec.to_dict().items() if k != "name"}
+    """Resume-identity of an experiment: the fields that shape trial records.
+
+    The cosmetic ``name`` and the ``adaptive`` stopping policy are excluded:
+    records are count-invariant (prefix-stable seed streams) and the policy
+    only decides *how many* trials run, so re-running a directory with a
+    different ``--target-ci`` (or none) extends the same results rather than
+    refusing.  ``n_trials`` stays in the key deliberately -- it is the sweep
+    *shape* as written, and per-point files guard their own record counts via
+    :meth:`TrialCheckpoint.load`.
+    """
+    data = {k: v for k, v in spec.to_dict().items() if k not in ("name", "adaptive")}
     return _canonical_json(data)
 
 
@@ -196,34 +206,100 @@ class ExperimentRunner:
         os.replace(tmp, target)
 
     # ------------------------------------------------------------------ #
+    def _advance_point(self, index: int) -> None:
+        """Decide one adaptive point's fate at a round boundary.
+
+        Called the moment the point's committed records cover its current
+        round target ``[0, target)``.  The stop rule reads *that prefix
+        only* -- a deterministic function of committed records, so every
+        backend, worker count and interruption history makes the same call.
+        Either the point stops (CI tight enough, threshold settled, or cap
+        reached) or its target grows by one batch, to run next round.
+        """
+        adaptive = self.spec.adaptive
+        target = self._targets[index]
+        decision = adaptive.evaluate(self._record_sets[index].aggregate_interim(target))
+        if decision.stop or target >= self._caps[index]:
+            self._stopped[index] = True
+            self._checkpoints[index].close()
+            self._tracker.point_completed(index)
+            self._persist_progress(self._tracker)
+        else:
+            new_target = adaptive.next_target(target, self._caps[index])
+            self._targets[index] = new_target
+            self._tracker.extend_point(index, new_target)
+
     def run(self) -> ExperimentResult:
-        """Run (or resume) every grid point and return the typed result."""
+        """Run (or resume) every grid point and return the typed result.
+
+        Without an ``adaptive`` policy every point runs its fixed
+        ``n_trials`` in one round.  With one, points run in rounds of
+        ``adaptive.batch`` trials: at each round boundary the point's
+        committed records are aggregated and the point stops early (CI tight
+        enough / threshold settled) or tops up by another batch until
+        ``adaptive.max_trials`` -- see :meth:`_advance_point`.
+        """
         expanded = self.spec.expanded()
         self._write_manifest()
+        adaptive = self.spec.adaptive
 
         checkpoints: list[TrialCheckpoint] = []
         record_sets: list[TrialRecordSet] = []
-        slices: list[TrialSlice] = []
         needs_header: list[bool] = []
+        run_specs = []
+        caps: list[int] = []
+        targets: list[int] = []
+        stopped: list[bool] = []
         for index, (_, campaign_spec) in enumerate(expanded):
-            checkpoint = TrialCheckpoint(campaign_spec, self._point_path(index, campaign_spec))
+            cap = (
+                adaptive.resolve_max_trials(campaign_spec.n_trials)
+                if adaptive is not None
+                else campaign_spec.n_trials
+            )
+            # Workers derive per-trial seeds from a spawn stream sized by the
+            # spec they receive, so the running spec carries the cap: seeds
+            # are prefix-stable, making every count a prefix of the same run.
+            run_spec = (
+                replace(campaign_spec, n_trials=cap)
+                if cap != campaign_spec.n_trials
+                else campaign_spec
+            )
+            checkpoint = TrialCheckpoint(run_spec, self._point_path(index, campaign_spec))
             loaded = checkpoint.load()
-            records = TrialRecordSet(spec=campaign_spec, records=loaded)
-            pending = records.missing()
-            if pending:
-                slices.append(
-                    TrialSlice(index, campaign_spec.to_dict(), tuple(pending))
-                )
+            records = TrialRecordSet(spec=run_spec, records=loaded)
+            if adaptive is None:
+                target = cap
+            else:
+                # Resume floor: committed records are never discarded, so the
+                # first round boundary must sit at or past the highest loaded
+                # index -- a loose target then stops *at* that boundary
+                # instead of below it.
+                floor = max(loaded) + 1 if loaded else 0
+                target = adaptive.first_target(cap)
+                while target < floor:
+                    target = adaptive.next_target(target, cap)
             checkpoints.append(checkpoint)
             record_sets.append(records)
             needs_header.append(not loaded)
+            run_specs.append(run_spec)
+            caps.append(cap)
+            targets.append(target)
+            stopped.append(False)
 
         tracker = ProgressTracker(
-            point_totals=[spec.n_trials for _, spec in expanded],
+            point_totals=list(targets),
             initial_done=[len(records.records) for records in record_sets],
             listeners=self.progress_listeners,
             label=self.spec.label,
         )
+        # Round state the adaptive decision hook reads (self._* so the hook
+        # stays testable without threading six parallel lists through it).
+        self._checkpoints = checkpoints
+        self._record_sets = record_sets
+        self._caps = caps
+        self._targets = targets
+        self._stopped = stopped
+        self._tracker = tracker
         tracker.start()
         self._persist_progress(tracker)
 
@@ -231,34 +307,79 @@ class ExperimentRunner:
         # point completes, so concurrent file descriptors are bounded by the
         # number of in-flight grid points, not the grid size.
         opened: set[int] = set()
-        stream = self.executor.execute(slices)
         try:
-            for point_index, trial, record in stream:
-                # Refresh the worker-pool counts an elastic backend exposes,
-                # so every emitted event carries the current pool state.
-                tracker.update_pool(self.executor.pool_snapshot())
-                if point_index not in opened:
-                    checkpoints[point_index].open(header=needs_header[point_index])
-                    opened.add(point_index)
-                # A re-delivered record (e.g. a re-leased batch both copies of
-                # which eventually land) must not inflate the progress counts.
-                fresh = trial not in record_sets[point_index].records
-                record_sets[point_index].add(trial, record)
-                checkpoints[point_index].append(trial, record)
-                if fresh:
-                    tracker.trial_done(point_index)
-                if record_sets[point_index].complete:
-                    checkpoints[point_index].close()
-                    tracker.point_completed(point_index)
-                    self._persist_progress(tracker)
+            if adaptive is not None:
+                # Points fully resumed to their first round boundary never
+                # enter the stream; decide them up front.
+                for index in range(len(expanded)):
+                    if not stopped[index] and tracker.point_done[index] == targets[index]:
+                        self._advance_point(index)
+            while True:
+                slices = []
+                for index, records in enumerate(record_sets):
+                    if stopped[index]:
+                        continue
+                    pending = [
+                        i for i in range(targets[index]) if i not in records.records
+                    ]
+                    if pending:
+                        slices.append(
+                            TrialSlice(index, run_specs[index].to_dict(), tuple(pending))
+                        )
+                if not slices:
+                    break
+                progressed = False
+                stream = self.executor.execute(slices)
+                try:
+                    for point_index, trial, record in stream:
+                        # Refresh the worker-pool counts an elastic backend
+                        # exposes, so every emitted event carries the current
+                        # pool state.
+                        tracker.update_pool(self.executor.pool_snapshot())
+                        if point_index not in opened:
+                            checkpoints[point_index].open(header=needs_header[point_index])
+                            opened.add(point_index)
+                        # A re-delivered record (e.g. a re-leased batch both
+                        # copies of which eventually land) must not inflate
+                        # the progress counts.
+                        fresh = trial not in record_sets[point_index].records
+                        record_sets[point_index].add(trial, record)
+                        checkpoints[point_index].append(trial, record)
+                        if fresh:
+                            progressed = True
+                            tracker.trial_done(point_index)
+                        if (
+                            not stopped[point_index]
+                            and tracker.point_done[point_index] == targets[point_index]
+                        ):
+                            if adaptive is None:
+                                stopped[point_index] = True
+                                checkpoints[point_index].close()
+                                tracker.point_completed(point_index)
+                                self._persist_progress(tracker)
+                            else:
+                                self._advance_point(point_index)
+                finally:
+                    # Close the executor's generator eagerly so backends
+                    # holding real resources (worker subprocesses, server
+                    # sockets) release them even when a listener or
+                    # checkpoint raised mid-stream.
+                    close = getattr(stream, "close", None)
+                    if close is not None:
+                        close()
+                if adaptive is None:
+                    break
+                if not progressed:
+                    # The backend drained without landing a single fresh
+                    # trial; rebuilding the identical slices would spin
+                    # forever, so surface the stall instead.
+                    raise RuntimeError(
+                        f"executor {self.executor.name!r} made no progress on "
+                        f"{len(slices)} pending slice(s) of an adaptive round"
+                    )
         finally:
-            # Close the executor's generator eagerly so backends holding real
-            # resources (worker subprocesses, server sockets) release them
-            # even when a listener or checkpoint raised mid-stream -- then
-            # flush the sinks and persist how far the run actually got.
-            close = getattr(stream, "close", None)
-            if close is not None:
-                close()
+            # Flush the sinks and persist how far the run actually got, even
+            # when a listener or checkpoint raised mid-stream.
             for checkpoint in checkpoints:
                 checkpoint.close()
             self._persist_progress(tracker)
@@ -271,13 +392,27 @@ class ExperimentRunner:
 
         points = []
         for index, (point, campaign_spec) in enumerate(expanded):
-            records = record_sets[index]
-            checkpoints[index].write_canonical(records.ordered())
+            if adaptive is None:
+                records = record_sets[index]
+                checkpoints[index].write_canonical(records.ordered())
+            else:
+                # The point's truth is the prefix it stopped at: re-type the
+                # records under that count so the canonical file header,
+                # completeness and aggregation all agree with what ran.
+                final_spec = replace(campaign_spec, n_trials=targets[index])
+                records = TrialRecordSet(
+                    spec=final_spec,
+                    records={
+                        i: record_sets[index].records[i]
+                        for i in range(targets[index])
+                    },
+                )
+                checkpoints[index].write_canonical(records.ordered())
             points.append(
                 PointResult(
                     index=index,
                     point=point,
-                    spec=campaign_spec,
+                    spec=records.spec,
                     records=records,
                     result=records.aggregate(),
                 )

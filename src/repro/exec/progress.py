@@ -209,6 +209,29 @@ class ProgressTracker:
         """
         self.pool = dict(pool) if pool is not None else None
 
+    def extend_point(self, point_index: int, new_total: int) -> None:
+        """Raise ``point_index``'s trial budget to ``new_total`` (adaptive top-up).
+
+        The engine's adaptive scheduler calls this when a grid point's
+        confidence interval is still too wide at a round boundary: the
+        point's total grows by another batch, so ``trial_done`` keeps
+        accepting trials past the initial budget.  Totals only grow -- a
+        shrink would strand already-counted trials -- and a point that was
+        complete at the old total becomes in-flight again.  No event is
+        emitted; the next ``trial`` event carries the new totals.
+        """
+        if not 0 <= point_index < self.n_points:
+            raise ValueError(f"point index {point_index} outside the {self.n_points}-point grid")
+        if new_total < self.point_totals[point_index]:
+            raise ValueError(
+                f"cannot shrink grid point {point_index} from "
+                f"{self.point_totals[point_index]} to {new_total} trials"
+            )
+        if new_total == self.point_totals[point_index]:
+            return
+        self.point_totals[point_index] = int(new_total)
+        self._point_complete[point_index] = False
+
     def trial_done(self, point_index: int) -> None:
         """Record one finished trial of ``point_index``."""
         if not 0 <= point_index < self.n_points:

@@ -91,11 +91,44 @@ class TrialRecordSet:
             )
         return [self.records[i] for i in range(self.spec.n_trials)]
 
+    def prefix_complete(self, n: int) -> bool:
+        """Whether every trial index in ``[0, n)`` has a record."""
+        return all(i in self.records for i in range(n))
+
     # ------------------------------------------------------------------ #
     def aggregate(self) -> Any:
         """Fold the complete record set through the campaign's aggregator."""
         definition = get_campaign(self.spec.campaign)
         return definition.aggregate(self.ordered(), dict(self.spec.params))
+
+    def aggregate_interim(self, n: int | None = None) -> Any:
+        """Fold the first ``n`` trials through the campaign's aggregator.
+
+        The mid-run view adaptive scheduling reads: the prefix ``[0, n)``
+        must be fully recorded (committed records only -- a stopping decision
+        must never depend on in-flight trials), but the set as a whole may be
+        partial.  ``n=None`` uses the longest complete prefix.
+        """
+        if n is None:
+            n = 0
+            while n in self.records:
+                n += 1
+        else:
+            if not 0 <= n <= self.spec.n_trials:
+                raise ValueError(
+                    f"interim prefix {n} outside [0, {self.spec.n_trials}] of "
+                    f"campaign {self.spec.label!r}"
+                )
+            if not self.prefix_complete(n):
+                missing = [i for i in range(n) if i not in self.records][:8]
+                raise ValueError(
+                    f"campaign {self.spec.label!r} has holes in its first "
+                    f"{n} trials (missing {missing}...); interim aggregation "
+                    "needs a complete prefix"
+                )
+        definition = get_campaign(self.spec.campaign)
+        records = [self.records[i] for i in range(n)]
+        return definition.aggregate(records, dict(self.spec.params))
 
     def summary(self) -> dict:
         """The aggregate's summary; a clear error if it has none."""
@@ -283,7 +316,9 @@ class ExperimentResult:
                 continue
             point = entry.get("point")
             trial = entry.get("trial")
-            if isinstance(point, int) and isinstance(trial, int):
+            if isinstance(point, int) and isinstance(trial, int) and "record" in entry:
+                # Record-less trial lines (torn or hand-edited) are skipped
+                # like unparseable ones, mirroring parse_results_text.
                 shard_records.setdefault(point, {})[trial] = entry["record"]
         if header is None:
             raise ValueError("experiment results text has no experiment header")

@@ -29,6 +29,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.exec.adaptive import AdaptiveSpec
 from repro.fault.runner import CampaignSpec, _canonical_json
 
 
@@ -66,6 +67,14 @@ class ExperimentSpec:
         of drawing faults -- the same faults under every scheme, backend and
         worker count.  Serialised only when non-empty, so existing spec files
         and checkpoint resume identities are untouched.
+    adaptive:
+        Optional :class:`~repro.exec.adaptive.AdaptiveSpec` stopping policy.
+        When set, the engine runs each grid point in rounds and stops it as
+        soon as its metric's confidence interval is tight enough (or its
+        bound settles a threshold), topping the rest up by another batch --
+        ``n_trials`` becomes the *initial* per-point budget rather than a
+        fixed count.  Serialised only when set (like ``faultload``), so
+        existing spec files round-trip unchanged.
     """
 
     campaign: str
@@ -75,6 +84,7 @@ class ExperimentSpec:
     grid: dict = field(default_factory=dict)
     name: str = ""
     faultload: str = ""
+    adaptive: AdaptiveSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.campaign:
@@ -86,6 +96,14 @@ class ExperimentSpec:
         for axis, values in self.grid.items():
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(f"grid axis {axis!r} must be a non-empty list of values")
+        if isinstance(self.adaptive, dict):
+            # Accept the on-disk block form directly (kwargs mirror from_dict).
+            object.__setattr__(self, "adaptive", AdaptiveSpec.from_dict(self.adaptive))
+        if self.adaptive is not None and not isinstance(self.adaptive, AdaptiveSpec):
+            raise ValueError(
+                "adaptive must be an AdaptiveSpec (or its dict form), got "
+                f"{type(self.adaptive).__name__}"
+            )
 
     # ------------------------------------------------------------------ #
     # Shape
@@ -190,6 +208,8 @@ class ExperimentSpec:
             # Emitted only when set: pre-existing spec files and resume keys
             # must serialise exactly as before this field existed.
             data["faultload"] = self.faultload
+        if self.adaptive is not None:
+            data["adaptive"] = self.adaptive.to_dict()
         return data
 
     @classmethod
@@ -204,7 +224,7 @@ class ExperimentSpec:
             raise ValueError(f"experiment spec must be a JSON object, got {type(data).__name__}")
         known = {
             "campaign", "n_trials", "seed", "params", "base_params",
-            "grid", "name", "faultload",
+            "grid", "name", "faultload", "adaptive",
         }
         unknown = set(data) - known
         if unknown:
@@ -222,6 +242,11 @@ class ExperimentSpec:
             grid=json.loads(json.dumps(data.get("grid", {}))),
             name=str(data.get("name", "")),
             faultload=str(data.get("faultload", "")),
+            adaptive=(
+                AdaptiveSpec.from_dict(data["adaptive"])
+                if data.get("adaptive") is not None
+                else None
+            ),
         )
 
     def to_json(self) -> str:

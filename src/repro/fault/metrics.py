@@ -1,10 +1,200 @@
-"""Campaign metrics: detection rate, false-alarm rate, coverage, error distributions."""
+"""Campaign metrics: detection rate, false-alarm rate, coverage, error
+distributions, and the binomial confidence intervals behind adaptive stopping.
+
+The interval helpers (:func:`wilson_interval`, :func:`clopper_pearson_interval`)
+are pure-numpy so the adaptive campaign layer carries no dependency beyond what
+the trial kernels already need, and they are deterministic closed-form /
+bisection computations -- the same committed trial records always yield the
+same stopping decision on every backend.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
+
+#: Interval methods accepted by :func:`binomial_interval` (and the adaptive
+#: spec's ``method`` field).
+INTERVAL_METHODS = ("wilson", "clopper_pearson")
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1), which is far below the Monte-Carlo noise
+    of any campaign; implemented inline so the interval helpers stay
+    dependency-free (CI installs numpy only).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability must be in (0, 1), got {p}")
+    # Coefficients of Acklam's approximation.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+
+
+def wilson_interval(successes: int, n: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 or n successes) and for small ``n``,
+    which is exactly the regime adaptive stopping probes.  ``n == 0`` returns
+    the vacuous ``(0, 1)`` interval: with no observations nothing is bounded,
+    so an adaptive rule keyed on the half-width never stops on it.
+    """
+    successes, n = _check_counts(successes, n)
+    if n == 0:
+        return 0.0, 1.0
+    z = _normal_quantile(0.5 + _check_confidence(confidence) / 2.0)
+    phat = successes / n
+    denom = 1.0 + z * z / n
+    centre = phat + z * z / (2 * n)
+    margin = z * math.sqrt(phat * (1 - phat) / n + z * z / (4 * n * n))
+    lo = max(0.0, (centre - margin) / denom)
+    hi = min(1.0, (centre + margin) / denom)
+    return lo, hi
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betainc(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b) (continued fraction).
+
+    Numerical-Recipes-style Lentz evaluation; relative error ~1e-12, plenty
+    for 95/99% quantiles.
+    """
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    front = math.exp(ln_front)
+    # Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to keep the continued
+    # fraction in its rapidly-converging region.
+    if x > (a + 1.0) / (a + b + 2.0):
+        return 1.0 - _betainc(b, a, 1.0 - x)
+    tiny = 1e-300
+    c, d = 1.0, 1.0 - (a + b) * x / (a + 1.0)
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    result = d
+    for m in range(1, 300):
+        # Even step.
+        num = m * (b - m) * x / ((a + 2 * m - 1.0) * (a + 2 * m))
+        d = 1.0 + num * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + num / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        result *= d * c
+        # Odd step.
+        num = -(a + m) * (a + b + m) * x / ((a + 2 * m) * (a + 2 * m + 1.0))
+        d = 1.0 + num * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + num / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        result *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    return front * result / a
+
+
+def _beta_quantile(q: float, a: float, b: float) -> float:
+    """Inverse of the regularized incomplete beta CDF by bisection.
+
+    Bisection (not Newton) for unconditional robustness at the extreme
+    shapes Clopper-Pearson hits (a or b near 0); 100 halvings reach ~8e-31
+    interval width, far below float64 resolution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile probability must be in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if _betainc(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def clopper_pearson_interval(
+    successes: int, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Clopper-Pearson ("exact") interval for a binomial proportion.
+
+    Guaranteed coverage at the cost of being conservative (wider than
+    Wilson), so a Clopper-Pearson-driven adaptive stop never quits earlier
+    than the Wilson rule would.  ``n == 0`` returns the vacuous ``(0, 1)``.
+    """
+    successes, n = _check_counts(successes, n)
+    if n == 0:
+        return 0.0, 1.0
+    alpha = 1.0 - _check_confidence(confidence)
+    lo = 0.0 if successes == 0 else _beta_quantile(alpha / 2, successes, n - successes + 1)
+    hi = 1.0 if successes == n else _beta_quantile(1 - alpha / 2, successes + 1, n - successes)
+    return lo, hi
+
+
+def binomial_interval(
+    successes: int, n: int, confidence: float = 0.95, method: str = "wilson"
+) -> tuple[float, float]:
+    """Dispatch to a named interval method (``wilson`` | ``clopper_pearson``)."""
+    if method == "wilson":
+        return wilson_interval(successes, n, confidence)
+    if method == "clopper_pearson":
+        return clopper_pearson_interval(successes, n, confidence)
+    raise ValueError(
+        f"unknown interval method {method!r}; available: {list(INTERVAL_METHODS)}"
+    )
+
+
+def _check_counts(successes: int, n: int) -> tuple[int, int]:
+    successes, n = int(successes), int(n)
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0 <= successes <= max(n, 0):
+        raise ValueError(f"successes must be in [0, {n}], got {successes}")
+    return successes, n
+
+
+def _check_confidence(confidence: float) -> float:
+    confidence = float(confidence)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return confidence
 
 
 @dataclass
@@ -115,10 +305,57 @@ class CampaignResult:
             return 0.0
         return float(np.mean([o.output_rel_error for o in trials]))
 
+    # ------------------------------------------------------------------ #
+    # Confidence intervals (adaptive stopping, Pareto decision support)
+    # ------------------------------------------------------------------ #
+    def metric_counts(self, metric: str = "detection_rate") -> tuple[int, int]:
+        """``(successes, n)`` behind a binomial rate metric.
+
+        The denominators differ per metric -- injected trials for
+        ``detection_rate``, clean trials for ``false_alarm_rate``, injected
+        *faults* for ``coverage`` -- so interval helpers and adaptive stop
+        rules read the counts from one place instead of re-deriving them.
+        A zero denominator means the metric is unmeasured (not a true 0.0
+        rate); callers render it as ``n/a`` and never stop on it.
+        """
+        if metric == "detection_rate":
+            trials = self.injected_trials
+            return sum(1 for o in trials if o.detected > 0), len(trials)
+        if metric == "false_alarm_rate":
+            trials = self.clean_trials
+            return sum(1 for o in trials if o.false_alarm), len(trials)
+        if metric == "coverage":
+            return (
+                sum(o.corrected for o in self.outcomes),
+                sum(o.injected for o in self.outcomes),
+            )
+        raise ValueError(
+            f"unknown rate metric {metric!r}; available: "
+            "['detection_rate', 'false_alarm_rate', 'coverage']"
+        )
+
+    def metric_interval(
+        self,
+        metric: str = "detection_rate",
+        confidence: float = 0.95,
+        method: str = "wilson",
+    ) -> tuple[float, float]:
+        """Confidence interval of a rate metric (vacuous ``(0, 1)`` when
+        the metric's denominator is zero)."""
+        successes, n = self.metric_counts(metric)
+        return binomial_interval(successes, n, confidence=confidence, method=method)
+
     def summary(self) -> dict:
-        """The aggregate statistics as a plain dict (CLI / report payload)."""
+        """The aggregate statistics as a plain dict (CLI / report payload).
+
+        ``n_injected`` / ``n_clean`` make a 0.0 rate distinguishable from an
+        unmeasured one (zero denominator), so CI columns can render ``n/a``
+        instead of a fake zero.
+        """
         return {
             "n_trials": self.n_trials,
+            "n_injected": len(self.injected_trials),
+            "n_clean": len(self.clean_trials),
             "detection_rate": self.detection_rate,
             "false_alarm_rate": self.false_alarm_rate,
             "coverage": self.coverage,

@@ -427,8 +427,22 @@ class CampaignRunner:
 
 
 def _resume_key(spec_dict: dict) -> str:
-    """Resume-identity of a spec: everything but the cosmetic ``name`` label."""
-    data = {key: value for key, value in spec_dict.items() if key != "name"}
+    """Resume-identity of a spec: everything defining the trial *records*.
+
+    Two fields are excluded: the cosmetic ``name`` label, and ``n_trials`` --
+    per-trial seeds derive from prefix-stable ``SeedSequence.spawn`` streams,
+    so trial ``i``'s record is identical under any trial count and a
+    checkpoint written at one ``n_trials`` resumes (and extends) under
+    another.  Adaptive campaigns rely on this: a point topped up past its
+    initial count re-opens the same file.  Shrinking below the records
+    already on disk is refused separately, by count, in
+    :meth:`~repro.exec.checkpoint.TrialCheckpoint.load`.
+    """
+    data = {
+        key: value
+        for key, value in spec_dict.items()
+        if key not in ("name", "n_trials")
+    }
     return _canonical_json(data)
 
 

@@ -79,9 +79,9 @@ class TestFormatCampaignResult:
         text = format_campaign_result(campaign_result(), title="campaign: x (2 trials)")
         assert lines(text) == [
             "campaign: x (2 trials)",
-            "trials  detection rate  false alarm rate  coverage  mean output error",
-            "------  --------------  ----------------  --------  -----------------",
-            "2       1.000           0.000             1.000     0.000",
+            "trials  injected  clean  detection rate  false alarm rate  coverage  mean output error",
+            "------  --------  -----  --------------  ----------------  --------  -----------------",
+            "2       2         0      1.000           0.000             1.000     0.000",
         ]
 
     def test_record_summary_renders_its_fields(self):
@@ -129,10 +129,10 @@ class TestFormatSweepResult:
         result = _sweep_result([campaign_result(2), campaign_result(1)])
         assert lines(format_sweep_result(result)) == [
             "sweep: golden (2 campaigns x 2 trials)",
-            "scheme  trials  detection  false alarm  coverage  mean err",
-            "------  ------  ---------  -----------  --------  --------",
-            "a       2       1.000      0.000        1.000     0.000",
-            "b       2       0.500      0.000        1.000     0.000",
+            "scheme  trials  injected  clean  detection  false alarm  coverage  mean err",
+            "------  ------  --------  -----  ---------  -----------  --------  --------",
+            "a       2       2         0      1.000      0.000        1.000     0.000",
+            "b       2       2         0      0.500      0.000        1.000     0.000",
         ]
 
     def test_golden_threshold_lists_render_compact(self):

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.fault.metrics import CampaignResult, TrialOutcome
+from repro.fault.metrics import (
+    CampaignResult,
+    TrialOutcome,
+    binomial_interval,
+    clopper_pearson_interval,
+    wilson_interval,
+)
 
 
 class TestCampaignResult:
@@ -63,3 +69,96 @@ class TestCampaignResult:
         assert len(result.injected_trials) == 1
         assert len(result.clean_trials) == 1
         assert result.n_trials == 2
+
+    def test_summary_reports_denominators(self):
+        """0.0 from zero trials must be distinguishable from a true 0% rate."""
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=1, detected=1, corrected=1))
+        summary = result.summary()
+        assert summary["n_injected"] == 1
+        assert summary["n_clean"] == 0
+        # Existing keys survive, in order, so downstream tables stay stable.
+        assert list(summary) == [
+            "n_trials", "n_injected", "n_clean", "detection_rate",
+            "false_alarm_rate", "coverage", "mean_output_error",
+        ]
+
+    def test_metric_counts(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(injected=4, detected=4, corrected=3))
+        result.add(TrialOutcome(injected=1, detected=0, corrected=0))
+        result.add(TrialOutcome(injected=0, false_alarm=True))
+        assert result.metric_counts("detection_rate") == (1, 2)
+        assert result.metric_counts("false_alarm_rate") == (1, 1)
+        assert result.metric_counts("coverage") == (3, 5)
+        with pytest.raises(ValueError, match="unknown rate metric"):
+            result.metric_counts("latency")
+
+    def test_metric_interval_matches_counts(self):
+        result = CampaignResult()
+        for detected in (1, 1, 1, 0):
+            result.add(TrialOutcome(injected=1, detected=detected))
+        lo, hi = result.metric_interval("detection_rate")
+        assert lo == pytest.approx(wilson_interval(3, 4)[0])
+        assert hi == pytest.approx(wilson_interval(3, 4)[1])
+
+
+class TestBinomialIntervals:
+    def test_wilson_reference_values(self):
+        # Reference: scipy-free closed form checked against statsmodels
+        # proportion_confint(8, 10, method="wilson").
+        lo, hi = wilson_interval(8, 10)
+        assert lo == pytest.approx(0.4901625, abs=1e-6)
+        assert hi == pytest.approx(0.9433178, abs=1e-6)
+
+    def test_clopper_pearson_reference_values(self):
+        # Reference: scipy.stats.beta.ppf(0.025, 8, 3) and
+        # beta.ppf(0.975, 9, 2) -- the exact interval of 8/10.
+        lo, hi = clopper_pearson_interval(8, 10)
+        assert lo == pytest.approx(0.4439045, abs=1e-6)
+        assert hi == pytest.approx(0.9747893, abs=1e-6)
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    def test_edge_counts_pin_the_bounds(self, method):
+        lo, _ = binomial_interval(0, 20, method=method)
+        assert lo == 0.0
+        _, hi = binomial_interval(20, 20, method=method)
+        assert hi == 1.0
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    def test_zero_trials_gives_vacuous_interval(self, method):
+        assert binomial_interval(0, 0, method=method) == (0.0, 1.0)
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    def test_interval_contains_point_estimate(self, method):
+        for successes, n in [(0, 5), (1, 7), (13, 40), (39, 40)]:
+            lo, hi = binomial_interval(successes, n, method=method)
+            assert lo <= successes / n <= hi
+            assert 0.0 <= lo <= hi <= 1.0
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    def test_interval_tightens_with_sample_size(self, method):
+        narrow = binomial_interval(80, 100, method=method)
+        wide = binomial_interval(8, 10, method=method)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_higher_confidence_widens(self):
+        at95 = wilson_interval(8, 10, confidence=0.95)
+        at99 = wilson_interval(8, 10, confidence=0.99)
+        assert at99[1] - at99[0] > at95[1] - at95[0]
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError, match="successes"):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError, match="successes"):
+            wilson_interval(-1, 4)
+        with pytest.raises(ValueError, match="non-negative"):
+            wilson_interval(0, -1)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError, match="confidence"):
+            wilson_interval(1, 2, confidence=1.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown interval method"):
+            binomial_interval(1, 2, method="jeffreys")
