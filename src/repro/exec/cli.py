@@ -3,7 +3,8 @@
 ::
 
     python -m repro run spec.json [--executor serial|process|async|distributed]
-                                  [--workers N] [--results PATH] [--progress]
+                                  [--workers N] [--results PATH]
+                                  [--store jsonl|sqlite] [--progress]
     python -m repro sweep spec.json [--expand-only] [...]
     python -m repro worker --connect HOST:PORT [--authkey KEY]
     python -m repro list-campaigns
@@ -12,6 +13,9 @@
     python -m repro faultload describe fl.jsonl
     python -m repro report PATH [PATH ...]
     python -m repro pareto PATH [--metric detection_rate] [--cost attention_cost]
+    python -m repro query PATH [--campaign S] [--scheme S] [--detected true]
+                               [--count | --limit N] [--jsonl]
+    python -m repro store convert PATH --to sqlite|jsonl [--out PATH]
 
 ``run`` auto-detects campaign vs. sweep specs (a ``grid`` key marks a sweep)
 and executes through any registered backend; ``--progress`` streams
@@ -20,11 +24,17 @@ plain-text heartbeat lines (trials done, throughput, ETA) from every backend.
 campaigns; ``worker`` joins a ``--executor distributed`` coordinator and
 pulls trial batches until the run ends; ``list-campaigns`` shows every
 registered trial kernel with its one-line summary; ``report`` re-renders
-finished JSONL results (a campaign file, an experiment stream, or a sweep
-results directory) without re-running anything -- for an interrupted run it
-prints the completion state instead and exits 1.  ``pareto`` joins a
-finished scheme sweep's detection statistics (with confidence intervals)
-against the roofline cost models and prints the Pareto-optimal scheme set.
+finished results (a campaign file, an experiment stream, a sweep results
+directory, or a sqlite results database -- the store backend is sniffed from
+the path) without re-running anything -- for an interrupted run it prints
+the completion state instead and exits 1.  ``pareto`` joins a finished
+scheme sweep's detection statistics (with confidence intervals) against the
+roofline cost models and prints the Pareto-optimal scheme set.  ``query``
+streams filtered trial records (by campaign, point, scheme, fault model,
+detected flag) out of any store backend, on finished or in-flight runs,
+without loading whole record sets; ``store convert`` migrates a results
+path between backends (``--to sqlite`` aggregates JSONL checkpoints into
+one queryable database, ``--to jsonl`` exports canonical checkpoint files).
 
 ``run``/``sweep`` also take ``--target-ci`` (with ``--adaptive-batch`` /
 ``--max-trials``) to run the spec adaptively: grid points stop early once
@@ -48,6 +58,7 @@ from repro.exec.engine import MANIFEST_NAME, read_manifest, run_experiment
 from repro.exec.executors import available_executors
 from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
 from repro.exec.spec import ExperimentSpec
+from repro.store import DEFAULT_STORE, available_stores, open_store, sniff_store
 
 
 def deprecation_note(old: str, new: str) -> None:
@@ -87,8 +98,18 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--results",
         default=None,
-        help="checkpoint path enabling resume: a JSONL file for a campaign "
-        "spec, a directory of per-point JSONL files for a sweep spec",
+        help="checkpoint path enabling resume: with the default jsonl store "
+        "a JSONL file for a campaign spec or a directory of per-point JSONL "
+        "files for a sweep spec; with --store sqlite one database file "
+        "either way",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="|".join(available_stores()),
+        help="results-store backend for --results (default: the spec's "
+        '"store" field, else jsonl); all backends hold byte-equivalent '
+        "records (`repro store convert` migrates between them)",
     )
     parser.add_argument(
         "--trial-batch",
@@ -216,8 +237,18 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _check_results_path(parser: argparse.ArgumentParser, spec: ExperimentSpec, results) -> None:
+def _check_results_path(
+    parser: argparse.ArgumentParser,
+    spec: ExperimentSpec,
+    results,
+    store: str | None,
+) -> None:
     if results is None:
+        return
+    if (store or spec.store or DEFAULT_STORE) != DEFAULT_STORE:
+        # Layout shape is the store's business (validated at runner
+        # construction); only the jsonl layout has the file/dir split worth
+        # catching at the argparse layer.
         return
     path = Path(results)
     if spec.is_sweep and path.is_file():
@@ -347,7 +378,11 @@ def _progress_listeners(args: argparse.Namespace):
 def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     spec = _load_spec(parser, args.spec)
     spec = _apply_adaptive_flags(parser, spec, args)
-    _check_results_path(parser, spec, args.results)
+    if args.store is not None and args.store not in available_stores():
+        parser.error(
+            f"unknown --store {args.store!r}; registered: {available_stores()}"
+        )
+    _check_results_path(parser, spec, args.results, args.store)
     if args.trial_batch is not None:
         import os
 
@@ -364,6 +399,7 @@ def cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         executor=_build_cli_executor(parser, args),
         n_workers=args.workers,
         results_path=args.results,
+        store=args.store,
         progress=_progress_listeners(args),
     )
     from repro.analysis.reporting import format_experiment_result
@@ -524,6 +560,8 @@ def cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
                 parser.error(f"results path {raw} does not exist")
         elif path.is_dir():
             rendered = _report_directory(parser, path)
+        elif sniff_store(path) != DEFAULT_STORE:
+            rendered = [_report_store(parser, path)]
         else:
             rendered = [_report_file(parser, path)]
         blocks.extend(text for text, _ in rendered)
@@ -596,6 +634,59 @@ def _report_file(parser: argparse.ArgumentParser, path: Path) -> tuple[str, bool
     return format_point_result(records.aggregate(), title=title), True
 
 
+def _report_store(parser: argparse.ArgumentParser, path: Path) -> tuple[str, bool]:
+    """Render a non-jsonl results store (e.g. a sqlite database) for ``report``.
+
+    Same output shapes as the jsonl renderers: a completion line or
+    per-point table for a partial run, the full aggregate otherwise.
+    """
+    from repro.analysis.reporting import format_experiment_result, format_point_result
+
+    store = open_store(path)
+    try:
+        try:
+            view = store.load_view()
+        except ValueError as exc:
+            parser.error(f"cannot read {path}: {exc}")
+        spec = view.spec
+        if not view.complete:
+            if spec.is_sweep:
+                states = [(p.spec.label, p.n_done, p.spec.n_trials) for p in view.points]
+                return _format_partial_points(f"{spec.kind}: {spec.label}", states), False
+            point = view.points[0]
+            line = _completion_line(
+                f"campaign: {point.spec.label}", point.n_done, point.spec.n_trials
+            )
+            if isinstance(view.progress, dict):
+                try:
+                    line += (
+                        f" [last snapshot: {view.progress['trials_done']}"
+                        f"/{view.progress['trials_total']} trials]"
+                    )
+                except KeyError:
+                    pass  # a foreign snapshot shape must not break the report
+            return line, False
+        if not spec.is_sweep:
+            records = store.point_records(0)
+            title = f"campaign: {records.spec.label} ({records.spec.n_trials} trials)"
+            return format_point_result(records.aggregate(), title=title), True
+        points = []
+        for index, (point, _campaign_spec) in enumerate(spec.expanded()):
+            records = store.point_records(index)
+            points.append(
+                PointResult(
+                    index=index,
+                    point=point,
+                    spec=records.spec,
+                    records=records,
+                    result=records.aggregate(),
+                )
+            )
+        return format_experiment_result(ExperimentResult(spec=spec, points=points)), True
+    finally:
+        store.close()
+
+
 def _format_partial_points(label: str, states: list[tuple[str, int, int]]) -> str:
     """A completion-state table for a partial multi-point run."""
     from repro.analysis.reporting import format_table
@@ -648,10 +739,38 @@ def _load_point_records(path: Path, campaign_spec) -> TrialRecordSet:
 
 
 def _load_experiment_result(parser: argparse.ArgumentParser, raw: str) -> ExperimentResult:
-    """Load a *finished* experiment from a sweep directory or stream file."""
+    """Load a *finished* experiment from any results store or stream file."""
     path = Path(raw)
     if not path.exists():
         parser.error(f"results path {raw} does not exist")
+    if path.is_file() and sniff_store(path) != DEFAULT_STORE:
+        store = open_store(path)
+        try:
+            try:
+                view = store.load_view()
+            except ValueError as exc:
+                parser.error(f"cannot read {raw}: {exc}")
+            points = []
+            for point_view in view.points:
+                if not point_view.complete:
+                    parser.error(
+                        f"grid point {point_view.spec.label!r} is partial "
+                        f"({point_view.n_done}/{point_view.spec.n_trials} "
+                        "trials); finish the run first"
+                    )
+                records = store.point_records(point_view.index)
+                points.append(
+                    PointResult(
+                        index=point_view.index,
+                        point=point_view.point,
+                        spec=records.spec,
+                        records=records,
+                        result=records.aggregate(),
+                    )
+                )
+            return ExperimentResult(spec=view.spec, points=points)
+        finally:
+            store.close()
     if path.is_dir():
         manifest = path / MANIFEST_NAME
         if not manifest.exists():
@@ -733,6 +852,58 @@ def cmd_pareto(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     frontier = pareto_frontier(summaries)
     names = ", ".join(str(s.scheme) for s in frontier) if frontier else "(empty)"
     print(f"pareto-optimal: {names}")
+    return 0
+
+
+def cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.fault.runner import _canonical_json
+    from repro.store import QueryFilter, count_query, query_records
+
+    path = Path(args.results)
+    if not path.exists():
+        parser.error(f"results path {args.results} does not exist")
+    flt = QueryFilter(
+        campaign=args.campaign,
+        point=args.point,
+        scheme=args.scheme,
+        fault_model=args.fault_model,
+        detected=None if args.detected is None else args.detected == "true",
+    )
+    store = open_store(path)
+    try:
+        try:
+            if args.count:
+                print(count_query(store, flt))
+                return 0
+            shown = 0
+            for point, trial, record in query_records(store, flt, limit=args.limit):
+                if args.jsonl:
+                    print(_canonical_json({"point": point, "record": record, "trial": trial}))
+                else:
+                    print(f"point={point} trial={trial} {_canonical_json(record)}")
+                shown += 1
+            if not args.jsonl:
+                suffix = (
+                    f" (stopped at --limit {args.limit})"
+                    if args.limit is not None and shown == args.limit
+                    else ""
+                )
+                print(f"query: {shown} matching record(s){suffix}", file=sys.stderr)
+        except ValueError as exc:
+            parser.error(f"cannot query {args.results}: {exc}")
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_store_convert(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.store import convert_store
+
+    try:
+        dest, total = convert_store(args.results, args.to, out=args.out)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(f"converted {total} record(s) to the {args.to} store at {dest}")
     return 0
 
 
@@ -961,12 +1132,95 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(handler=cmd_bench)
 
     report = commands.add_parser(
-        "report", help="re-render finished JSONL results without re-running"
+        "report", help="re-render finished results without re-running"
     )
     report.add_argument(
-        "results", nargs="+", help="results files and/or sweep directories"
+        "results",
+        nargs="+",
+        help="results paths: JSONL files, sweep directories, and/or sqlite "
+        "databases (backend auto-detected)",
     )
     report.set_defaults(handler=cmd_report)
+
+    query = commands.add_parser(
+        "query",
+        help="filter trial records out of any results store (finished or "
+        "in-flight) without loading whole record sets",
+    )
+    query.add_argument(
+        "results",
+        help="results path: a JSONL file, a sweep directory, or a sqlite "
+        "database (backend auto-detected)",
+    )
+    query.add_argument(
+        "--campaign",
+        default=None,
+        help="match a trial-kernel name, or a substring of a point label "
+        "(e.g. 'scheme=tensor')",
+    )
+    query.add_argument(
+        "--point", type=int, default=None, metavar="N", help="grid point index"
+    )
+    query.add_argument(
+        "--scheme", default=None, help="match the point's 'scheme' parameter"
+    )
+    query.add_argument(
+        "--fault-model",
+        default=None,
+        help="match the point's 'fault_model' parameter (absent means seu)",
+    )
+    query.add_argument(
+        "--detected",
+        choices=["true", "false"],
+        default=None,
+        help="keep only records whose 'detected' field is truthy/falsy",
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N matching records",
+    )
+    query.add_argument(
+        "--count",
+        action="store_true",
+        help="print the matching record count only (indexed on sqlite)",
+    )
+    query.add_argument(
+        "--jsonl",
+        action="store_true",
+        help='emit canonical {"point":..,"record":..,"trial":..} JSON lines',
+    )
+    query.set_defaults(handler=cmd_query)
+
+    store = commands.add_parser(
+        "store", help="results-store maintenance (convert between backends)"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    convert = store_commands.add_parser(
+        "convert",
+        help="migrate a results path to another store backend (works on "
+        "finished and partially-complete runs; partial runs resume on the "
+        "new backend exactly where they left off)",
+    )
+    convert.add_argument(
+        "results", help="source results path (backend auto-detected)"
+    )
+    convert.add_argument(
+        "--to",
+        required=True,
+        metavar="|".join(available_stores()),
+        help="destination store backend",
+    )
+    convert.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="destination path (default: derived from the source, e.g. "
+        "out/ -> out.db)",
+    )
+    convert.set_defaults(handler=cmd_store_convert)
 
     pareto = commands.add_parser(
         "pareto",

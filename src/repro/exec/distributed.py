@@ -75,7 +75,8 @@ import sys
 import threading
 import time
 import traceback
-from multiprocessing.managers import BaseManager
+from multiprocessing import connection as _mp_connection
+from multiprocessing.managers import BaseManager, Server
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -163,6 +164,91 @@ def parse_address(text: str) -> tuple[str, int]:
         return host, int(port)
     except ValueError:
         raise ValueError(f"address {text!r} has a non-integer port") from None
+
+
+def format_address(host: str, port: int) -> str:
+    """Render ``(host, port)`` as text :func:`parse_address` accepts back.
+
+    The inverse bracketing rule: an IPv6 host (any host containing ``:``)
+    comes out as ``[host]:port`` so announce lines and spawned-worker
+    ``--connect`` arguments round-trip through :func:`parse_address`.
+    """
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
+
+
+# --------------------------------------------------------------------------- #
+# IPv6 transport
+# --------------------------------------------------------------------------- #
+# ``multiprocessing`` hard-codes AF_INET for tuple addresses on both ends of
+# a manager connection (``address_type`` maps every tuple to ``'AF_INET'``
+# and ``_validate_family`` rejects ``'AF_INET6'`` outright), so a bracketed
+# IPv6 coordinator host needs two small shims: a listener that binds an
+# AF_INET6 socket, and a client that connects with the right family.  Both
+# treat "host contains a colon" as the IPv6 marker -- exactly the rule
+# ``parse_address`` uses to demand brackets.
+
+
+class _Inet6Listener(_mp_connection.Listener):
+    """A :class:`multiprocessing.connection.Listener` bound over AF_INET6.
+
+    ``Listener.__init__`` funnels through ``_validate_family``, which only
+    knows AF_INET/AF_UNIX/AF_PIPE, so this subclass skips it and sets up the
+    two attributes (``_listener``, ``_authkey``) the base class' ``accept``/
+    ``close``/``address`` actually use.
+    """
+
+    def __init__(self, address: tuple[str, int], backlog: int = 16) -> None:
+        self._listener = _mp_connection.SocketListener(
+            address, "AF_INET6", backlog
+        )
+        self._authkey = None
+
+
+class _Inet6Server(Server):
+    """A manager :class:`Server` whose listener binds an AF_INET6 socket.
+
+    The stock ``Server.__init__`` creates an AF_INET listener as a side
+    effect; it is constructed on a throwaway loopback address, closed, and
+    replaced.  ``address`` is trimmed to ``(host, port)`` -- AF_INET6
+    ``getsockname`` returns a 4-tuple whose flowinfo/scope-id the announce
+    line and workers have no use for.
+    """
+
+    def __init__(self, registry, address, authkey, serializer) -> None:
+        super().__init__(registry, ("127.0.0.1", 0), authkey, serializer)
+        self.listener.close()
+        self.listener = _Inet6Listener(address=address, backlog=16)
+        self.address = tuple(self.listener.address[:2])
+
+
+_STDLIB_SOCKET_CLIENT = _mp_connection.SocketClient
+
+
+def _family_aware_socket_client(address):
+    """``SocketClient`` that picks AF_INET6 for colon-bearing tuple hosts.
+
+    Installed over ``multiprocessing.connection.SocketClient`` at import
+    time so every path that dials a coordinator -- ``BaseManager.connect``,
+    proxy reconnects, spawned ``repro worker`` processes (they import this
+    module before connecting) -- inherits the family fix without forking the
+    stdlib manager machinery.
+    """
+    if isinstance(address, tuple) and ":" in str(address[0]):
+        s = socket.socket(socket.AF_INET6)
+        try:
+            s.setblocking(True)
+            s.connect(address)
+        except BaseException:
+            s.close()
+            raise
+        return _mp_connection.Connection(s.detach())
+    return _STDLIB_SOCKET_CLIENT(address)
+
+
+if _mp_connection.SocketClient is not _family_aware_socket_client:
+    _mp_connection.SocketClient = _family_aware_socket_client
 
 
 #: Modules imported from explicit ``.py`` paths, keyed by *resolved path*.
@@ -339,7 +425,14 @@ def _start_coordinator(host: str, port: int, authkey: str):
     _Coordinator.register("get_results", callable=lambda: results)
     _Coordinator.register("get_control", callable=lambda: control)
     manager = _Coordinator(address=(host, port), authkey=authkey.encode())
-    server = manager.get_server()
+    if ":" in host:
+        # get_server() hard-codes the AF_INET Server; bracketed IPv6 hosts
+        # (parse_address strips the brackets) get the AF_INET6 variant.
+        server = _Inet6Server(
+            _Coordinator._registry, (host, port), authkey.encode(), "pickle"
+        )
+    else:
+        server = manager.get_server()
     # Server.serve_forever would normally create this; serve_client loops on
     # it, and _stop_coordinator sets it to end those loops.
     server.stop_event = threading.Event()
@@ -508,9 +601,9 @@ class DistributedExecutor(Executor):
         )
         self.address = server.address
         if self.announce:
+            bound = format_address(self.address[0], self.address[1])
             print(
-                f"distributed: coordinator listening on "
-                f"{self.address[0]}:{self.address[1]}",
+                f"distributed: coordinator listening on {bound}",
                 file=sys.stderr,
             )
             if self._generated_authkey:
@@ -519,7 +612,7 @@ class DistributedExecutor(Executor):
                 print(
                     f"distributed: workers join with "
                     f"{AUTHKEY_ENV}={self.authkey} python -m repro worker "
-                    f"--connect {self.address[0]}:{self.address[1]}",
+                    f"--connect {bound}",
                     file=sys.stderr,
                 )
         try:
@@ -848,7 +941,7 @@ class DistributedExecutor(Executor):
             "repro",
             "worker",
             "--connect",
-            f"{host}:{port}",
+            format_address(host, port),
         ]
         if self.worker_max_tasks is not None:
             cmd += ["--max-tasks", str(self.worker_max_tasks)]

@@ -1,4 +1,4 @@
-"""The experiment engine: one spec, one checkpoint layer, any executor.
+"""The experiment engine: one spec, one results store, any executor.
 
 :class:`ExperimentRunner` executes an :class:`~repro.exec.spec.ExperimentSpec`
 (or anything coercible to one -- a legacy campaign/sweep spec, a dict, JSON
@@ -8,12 +8,14 @@ returns a typed :class:`~repro.exec.results.ExperimentResult`.
 The engine owns everything the backends must agree on:
 
 * **expansion** -- grid points in deterministic order, common root seed;
-* **checkpointing** -- one JSONL file per grid point (a single file for a
-  plain campaign, a ``NNN-<label>.jsonl`` directory for a sweep), appended as
-  records land, resumed on restart, rewritten canonically on completion.
-  Because records are keyed by ``(point, trial)`` and per-trial seeds derive
-  from the spec root, the finished files are *byte-identical* across
-  backends, worker counts and interruption histories;
+* **persistence** -- delegated to a pluggable
+  :class:`~repro.store.ResultsStore` (default: the ``"jsonl"`` layout of one
+  checkpoint file per grid point; ``"sqlite"`` keeps one queryable database
+  per experiment).  Records are appended durably as they land, resumed on
+  restart, and finalized canonically on completion.  Because records are
+  keyed by ``(point, trial)`` and per-trial seeds derive from the spec root,
+  the finished results are *byte-identical* across backends, worker counts
+  and interruption histories;
 * **aggregation** -- each grid point's records fold through its campaign's
   registered aggregator into the typed result.
 
@@ -25,67 +27,27 @@ Convenience wrapper::
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from repro.exec.checkpoint import TrialCheckpoint, campaign_results_path
 from repro.exec.executors import Executor, TrialSlice, build_executor
 from repro.exec.progress import ProgressEvent, ProgressTracker
 from repro.exec.results import ExperimentResult, PointResult, TrialRecordSet
 from repro.exec.spec import ExperimentSpec
-from repro.fault.runner import _canonical_json
-
-#: Name of the spec manifest an engine run drops into a sweep results
-#: directory (lets ``python -m repro report <dir>`` rebuild the experiment).
-#: Alongside the spec it carries a ``"progress"`` completion snapshot, kept
-#: current as grid points finish so a partial run's state survives a kill.
-MANIFEST_NAME = "experiment.json"
-
-
-def progress_sidecar_path(results_path: str | Path) -> Path:
-    """Progress-snapshot sidecar of a single-campaign results file.
-
-    A campaign checkpoints into one JSONL file and has no sweep manifest to
-    carry its completion snapshot, so the engine persists the counts-only
-    snapshot into ``<results>.progress.json`` next to it.  The sidecar is
-    removed when the run completes: its presence marks an interrupted (or
-    in-flight) run, and ``python -m repro report`` reads it to show the
-    completion state even before any trial record has landed.
-    """
-    results_path = Path(results_path)
-    return results_path.with_name(results_path.name + ".progress.json")
-
-
-def _experiment_resume_key(spec: ExperimentSpec) -> str:
-    """Resume-identity of an experiment: the fields that shape trial records.
-
-    The cosmetic ``name`` and the ``adaptive`` stopping policy are excluded:
-    records are count-invariant (prefix-stable seed streams) and the policy
-    only decides *how many* trials run, so re-running a directory with a
-    different ``--target-ci`` (or none) extends the same results rather than
-    refusing.  ``n_trials`` stays in the key deliberately -- it is the sweep
-    *shape* as written, and per-point files guard their own record counts via
-    :meth:`TrialCheckpoint.load`.
-    """
-    data = {k: v for k, v in spec.to_dict().items() if k not in ("name", "adaptive")}
-    return _canonical_json(data)
-
-
-def read_manifest(path: str | Path) -> tuple[ExperimentSpec, dict | None]:
-    """Parse an ``experiment.json`` manifest into ``(spec, progress or None)``.
-
-    The manifest is the experiment spec plus an optional ``"progress"``
-    completion snapshot (see :meth:`ProgressTracker.snapshot`); manifests
-    written before progress persistence existed parse fine (``None``).
-    """
-    data = json.loads(Path(path).read_text())
-    if not isinstance(data, dict):
-        raise ValueError(f"manifest {path} is not a JSON object")
-    progress = data.pop("progress", None)
-    return ExperimentSpec.from_dict(data), progress
+# Imported from the interface module (not the repro.store package root) to
+# keep the engine <-> store import order acyclic.  The manifest/sidecar
+# helpers grew up here but belong to the store layer; re-exported so existing
+# imports (`from repro.exec.engine import ...`) hold.
+from repro.store.base import (  # noqa: F401
+    MANIFEST_NAME,
+    PointStore,
+    ResultsStore,
+    build_store,
+    progress_sidecar_path,
+    read_manifest,
+)
+from repro.store.base import experiment_resume_key as _experiment_resume_key
 
 
 class ExperimentRunner:
@@ -101,10 +63,17 @@ class ExperimentRunner:
     n_workers:
         Parallelism budget handed to the backend.
     results_path:
-        Optional checkpoint location: a JSONL file for a single campaign, a
-        directory of per-point JSONL files for a sweep.  Existing files are
-        used to skip finished trials (resume); completed files are rewritten
-        in canonical trial-sorted order.
+        Optional checkpoint location, owned by the results store: with the
+        default ``"jsonl"`` store a JSONL file for a single campaign or a
+        directory of per-point JSONL files for a sweep; with ``"sqlite"``
+        one database file either way.  Existing results are used to skip
+        finished trials (resume); completed points are finalized in
+        canonical trial-sorted order.
+    store:
+        Results-store backend: a registered name (``"jsonl"``, ``"sqlite"``),
+        a ready :class:`~repro.store.ResultsStore`, or ``None`` to use the
+        spec's ``store`` field (default ``"jsonl"``).  Ignored without a
+        ``results_path``.
     progress:
         Optional progress listener(s) -- callables receiving every
         :class:`~repro.exec.progress.ProgressEvent` of the run (trials done,
@@ -118,6 +87,7 @@ class ExperimentRunner:
         executor: str | Executor = "serial",
         n_workers: int = 1,
         results_path: str | Path | None = None,
+        store: str | ResultsStore | None = None,
         progress: Callable[[ProgressEvent], None]
         | Sequence[Callable[[ProgressEvent], None]]
         | None = None,
@@ -131,17 +101,11 @@ class ExperimentRunner:
         else:
             self.progress_listeners = list(progress)
         self.results_path = Path(results_path) if results_path is not None else None
-        if self.results_path is not None:
-            if self.spec.is_sweep and self.results_path.is_file():
-                raise ValueError(
-                    f"results path {self.results_path} is a file, but a sweep "
-                    "checkpoints into a directory of per-point JSONL files"
-                )
-            if not self.spec.is_sweep and self.results_path.is_dir():
-                raise ValueError(
-                    f"results path {self.results_path} is a directory, but a "
-                    "campaign checkpoints into a single JSONL file"
-                )
+        self.store = build_store(store, self.results_path, self.spec)
+        # Fail fast -- before any worker pool spins up -- on a results path
+        # whose shape cannot hold this experiment.  The store also drops any
+        # stale in-flight marker a *different* experiment's abort left here.
+        self.store.validate_layout()
         faultload_path = self.spec.faultload or self.spec.params.get("faultload")
         if faultload_path:
             # Fail fast -- before any worker pool spins up -- on a missing,
@@ -157,53 +121,12 @@ class ExperimentRunner:
                 )
 
     # ------------------------------------------------------------------ #
-    def _point_path(self, index: int, spec) -> Path | None:
-        if self.results_path is None:
-            return None
-        if not self.spec.is_sweep:
-            return self.results_path
-        return campaign_results_path(self.results_path, index, spec)
-
-    def _write_manifest(self) -> None:
-        if self.results_path is None or not self.spec.is_sweep:
-            return
-        manifest = self.results_path / MANIFEST_NAME
-        if manifest.exists():
-            existing, _ = read_manifest(manifest)
-            if _experiment_resume_key(existing) != _experiment_resume_key(self.spec):
-                raise ValueError(
-                    f"{manifest} describes a different experiment; refusing "
-                    "to mix results of two sweeps in one directory"
-                )
-            return
-        self.results_path.mkdir(parents=True, exist_ok=True)
-        manifest.write_text(self.spec.to_json() + "\n")
-
     def _persist_progress(self, tracker: ProgressTracker) -> None:
-        """Atomically refresh the persisted ``progress`` completion snapshot.
-
-        The snapshot holds counts only (no wall-clock timing), so the
-        persisted state of a finished run is byte-identical across backends
-        and interruption histories.  Sweeps keep it inside the
-        ``experiment.json`` manifest; a single campaign has no manifest, so
-        its snapshot goes into a ``<results>.progress.json`` sidecar.
-        """
-        if self.results_path is None:
-            return
-        if self.spec.is_sweep:
-            target = self.results_path / MANIFEST_NAME
-            payload = dict(self.spec.to_dict())
-            payload["progress"] = tracker.snapshot()
-        else:
-            target = progress_sidecar_path(self.results_path)
-            payload = {
-                "spec": self.spec.to_dict(),
-                "progress": tracker.snapshot(),
-            }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_name(target.name + ".tmp")
-        tmp.write_text(_canonical_json(payload) + "\n")
-        os.replace(tmp, target)
+        """Refresh the store's persisted completion snapshot (counts only,
+        so the persisted state of a finished run is byte-identical across
+        backends and interruption histories)."""
+        if self.results_path is not None:
+            self.store.persist_progress(tracker.snapshot())
 
     # ------------------------------------------------------------------ #
     def _advance_point(self, index: int) -> None:
@@ -239,11 +162,19 @@ class ExperimentRunner:
         enough / threshold settled) or tops up by another batch until
         ``adaptive.max_trials`` -- see :meth:`_advance_point`.
         """
+        try:
+            return self._run()
+        finally:
+            # Backends holding real resources (a sqlite connection) release
+            # them; the store reopens lazily if read again.
+            self.store.close()
+
+    def _run(self) -> ExperimentResult:
         expanded = self.spec.expanded()
-        self._write_manifest()
+        self.store.prepare()
         adaptive = self.spec.adaptive
 
-        checkpoints: list[TrialCheckpoint] = []
+        checkpoints: list[PointStore] = []
         record_sets: list[TrialRecordSet] = []
         needs_header: list[bool] = []
         run_specs = []
@@ -264,7 +195,7 @@ class ExperimentRunner:
                 if cap != campaign_spec.n_trials
                 else campaign_spec
             )
-            checkpoint = TrialCheckpoint(run_spec, self._point_path(index, campaign_spec))
+            checkpoint = self.store.point_store(index, campaign_spec, run_spec)
             loaded = checkpoint.load()
             records = TrialRecordSet(spec=run_spec, records=loaded)
             if adaptive is None:
@@ -384,11 +315,11 @@ class ExperimentRunner:
                 checkpoint.close()
             self._persist_progress(tracker)
 
-        if self.results_path is not None and not self.spec.is_sweep:
-            # The run completed: the JSONL file is the whole truth now, so
-            # the interrupted-run sidecar comes off (its presence is the
-            # marker `repro report` uses for "this run never finished").
-            progress_sidecar_path(self.results_path).unlink(missing_ok=True)
+        # The run completed: the committed records are the whole truth now,
+        # so the store drops its interrupted-run markers (the jsonl layout's
+        # progress sidecar, whose presence is what `repro report` uses for
+        # "this run never finished").
+        self.store.finalize()
 
         points = []
         for index, (point, campaign_spec) in enumerate(expanded):
@@ -428,6 +359,7 @@ def run_experiment(
     executor: str | Executor = "serial",
     n_workers: int = 1,
     results_path: str | Path | None = None,
+    store: str | ResultsStore | None = None,
     progress: Callable[[ProgressEvent], None]
     | Sequence[Callable[[ProgressEvent], None]]
     | None = None,
@@ -438,5 +370,6 @@ def run_experiment(
         executor=executor,
         n_workers=n_workers,
         results_path=results_path,
+        store=store,
         progress=progress,
     ).run()

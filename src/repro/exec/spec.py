@@ -75,6 +75,12 @@ class ExperimentSpec:
         ``n_trials`` becomes the *initial* per-point budget rather than a
         fixed count.  Serialised only when set (like ``faultload``), so
         existing spec files round-trip unchanged.
+    store:
+        Optional results-store backend name (``"jsonl"``, ``"sqlite"``, or
+        any ``@register_store`` plug-in; see :mod:`repro.store`).  Empty
+        means the default JSONL layout; ``repro run --store`` overrides it.
+        Serialised only when non-empty and excluded from resume identities,
+        so existing spec files and checkpoints are untouched.
     """
 
     campaign: str
@@ -85,6 +91,7 @@ class ExperimentSpec:
     name: str = ""
     faultload: str = ""
     adaptive: AdaptiveSpec | None = None
+    store: str = ""
 
     def __post_init__(self) -> None:
         if not self.campaign:
@@ -210,6 +217,8 @@ class ExperimentSpec:
             data["faultload"] = self.faultload
         if self.adaptive is not None:
             data["adaptive"] = self.adaptive.to_dict()
+        if self.store:
+            data["store"] = self.store
         return data
 
     @classmethod
@@ -224,7 +233,7 @@ class ExperimentSpec:
             raise ValueError(f"experiment spec must be a JSON object, got {type(data).__name__}")
         known = {
             "campaign", "n_trials", "seed", "params", "base_params",
-            "grid", "name", "faultload", "adaptive",
+            "grid", "name", "faultload", "adaptive", "store",
         }
         unknown = set(data) - known
         if unknown:
@@ -247,6 +256,7 @@ class ExperimentSpec:
                 if data.get("adaptive") is not None
                 else None
             ),
+            store=str(data.get("store", "")),
         )
 
     def to_json(self) -> str:

@@ -1,0 +1,87 @@
+"""Migrate results between store backends: ``repro store convert``.
+
+Conversion is a replay through the public store API, so it works on finished
+*and* partially-complete runs: the destination gets the source's experiment
+manifest, every committed record (under the source's own per-point run
+headers, which carry adaptive stop counts), the complete/partial state of
+each point, and the latest progress snapshot.  A partial run converted to
+the other backend therefore resumes exactly where the original left off.
+
+Converting *to* jsonl writes each point's canonical export bytes verbatim --
+byte-identical to what a ``--store jsonl`` run of the same spec would have
+left on disk -- which doubles as the canonical-bytes export path the CI
+parity leg compares against a serial JSONL run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.store.base import DEFAULT_STORE, ResultsStore, get_store, open_store
+
+
+def default_convert_path(src: str | Path, to: str) -> Path:
+    """The destination a ``--to`` conversion lands on when ``--out`` is omitted.
+
+    ``*.jsonl``/sweep-directory sources become ``<name>.db``; a database
+    source becomes ``<stem>.jsonl`` for a campaign or a ``<stem>`` directory
+    for a sweep (decided later from the stored spec, so this returns the
+    stem and :func:`convert_store` appends the suffix for campaigns).
+    """
+    src = Path(src)
+    if to == "sqlite":
+        name = src.name[: -len(".jsonl")] if src.name.endswith(".jsonl") else src.name
+        return src.with_name(name + ".db")
+    name = src.name[: -len(".db")] if src.name.endswith(".db") else src.name
+    return src.with_name(name)
+
+
+def convert_store(
+    src: str | Path, to: str, out: str | Path | None = None
+) -> tuple[Path, int]:
+    """Convert a results path to another backend; ``(destination, records)``.
+
+    Raises ``ValueError`` on an unknown backend, a source that cannot be
+    read, or a destination that already holds a different experiment.
+    """
+    src = Path(src)
+    source = open_store(src)
+    if source.name == to:
+        raise ValueError(f"{src} already uses the {to!r} results store")
+    view = source.load_view()
+
+    dest_path = Path(out) if out is not None else default_convert_path(src, to)
+    if to == DEFAULT_STORE and not view.spec.is_sweep and dest_path.suffix != ".jsonl":
+        dest_path = dest_path.with_name(dest_path.name + ".jsonl")
+    if dest_path.resolve() == src.resolve():
+        raise ValueError(f"conversion destination {dest_path} is the source itself")
+
+    dest: ResultsStore = get_store(to)(dest_path, spec=view.spec)
+    dest.validate_layout()
+    dest.prepare()
+    total = 0
+    try:
+        for point_view in view.points:
+            if point_view.n_done == 0:
+                continue
+            records = source.point_records(point_view.index)
+            # The source's own header spec drives the destination handle, so
+            # adaptive stop counts and resume identity carry over verbatim.
+            _, campaign_spec = view.spec.expanded()[point_view.index]
+            handle = dest.point_store(point_view.index, campaign_spec, point_view.spec)
+            handle.open(header=True)
+            try:
+                for trial in sorted(records.records):
+                    handle.append(trial, records.records[trial])
+                    total += 1
+            finally:
+                handle.close()
+            if point_view.complete:
+                handle.write_canonical(records.ordered())
+        if view.progress is not None:
+            dest.persist_progress(view.progress)
+    finally:
+        dest.close()
+        source.close()
+    return dest_path, total

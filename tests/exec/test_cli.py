@@ -669,3 +669,89 @@ class TestBenchSubcommand:
         with pytest.raises(SystemExit):
             main(["bench", "--help"])
         assert "BENCH_<n>.json" in capsys.readouterr().out
+
+
+class TestStoreCli:
+    """The `--store` flag, the `query` verb and `store convert`."""
+
+    def test_sqlite_run_report_and_parity(self, sweep_file, tmp_path, capsys):
+        jsonl_dir = tmp_path / "out-jsonl"
+        db = tmp_path / "out.db"
+        assert main(["run", str(sweep_file), "--results", str(jsonl_dir)]) == 0
+        assert main(
+            ["run", str(sweep_file), "--results", str(db), "--store", "sqlite"]
+        ) == 0
+        jsonl_report = None
+        capsys.readouterr()
+        assert main(["report", str(jsonl_dir)]) == 0
+        jsonl_report = capsys.readouterr().out
+        assert main(["report", str(db)]) == 0
+        assert capsys.readouterr().out == jsonl_report
+
+    def test_unknown_store_rejected(self, sweep_file, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    str(sweep_file),
+                    "--results",
+                    str(tmp_path / "x"),
+                    "--store",
+                    "parquet",
+                ]
+            )
+        assert "unknown --store 'parquet'" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("store", ["jsonl", "sqlite"])
+    def test_query_counts_and_streams(self, sweep_file, tmp_path, capsys, store):
+        results = tmp_path / ("out.db" if store == "sqlite" else "out")
+        main(["run", str(sweep_file), "--results", str(results), "--store", store])
+        capsys.readouterr()
+        assert main(["query", str(results), "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "16"
+        assert main(["query", str(results), "--scheme", "tensor", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "8"
+        assert main(["query", str(results), "--point", "0", "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2 and all(line.startswith("point=0 ") for line in lines)
+        assert "query: 2 matching record(s) (stopped at --limit 2)" in captured.err
+
+    def test_query_jsonl_output_is_canonical(self, sweep_file, tmp_path, capsys):
+        import json as json_module
+
+        results = tmp_path / "out"
+        main(["run", str(sweep_file), "--results", str(results)])
+        capsys.readouterr()
+        assert main(["query", str(results), "--limit", "1", "--jsonl"]) == 0
+        line = capsys.readouterr().out.strip()
+        payload = json_module.loads(line)
+        assert set(payload) == {"point", "trial", "record"}
+        assert list(payload) == sorted(payload)  # canonical key order
+
+    def test_query_detected_filter_partitions(self, sweep_file, tmp_path, capsys):
+        results = tmp_path / "out"
+        main(["run", str(sweep_file), "--results", str(results)])
+        capsys.readouterr()
+        counts = {}
+        for flag in ("true", "false"):
+            assert main(["query", str(results), "--detected", flag, "--count"]) == 0
+            counts[flag] = int(capsys.readouterr().out.strip())
+        assert counts["true"] + counts["false"] == 16
+
+    def test_store_convert_round_trip(self, sweep_file, tmp_path, capsys):
+        results = tmp_path / "out"
+        main(["run", str(sweep_file), "--results", str(results)])
+        db = tmp_path / "converted.db"
+        capsys.readouterr()
+        assert main(
+            ["store", "convert", str(results), "--to", "sqlite", "--out", str(db)]
+        ) == 0
+        assert "converted 16 record(s) to the sqlite store" in capsys.readouterr().out
+        back = tmp_path / "back"
+        assert main(
+            ["store", "convert", str(db), "--to", "jsonl", "--out", str(back)]
+        ) == 0
+        capsys.readouterr()
+        for path in sorted(results.glob("*.jsonl")):
+            assert (back / path.name).read_bytes() == path.read_bytes()

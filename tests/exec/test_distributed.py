@@ -27,6 +27,7 @@ from repro.exec.distributed import (
     FixedScale,
     QueueDepthScale,
     build_scale_policy,
+    format_address,
     import_worker_module,
     parse_address,
     run_worker,
@@ -58,6 +59,25 @@ def _assert_byte_identical(reference: Path, candidate: Path) -> None:
         assert (candidate / name).read_bytes() == (reference / name).read_bytes()
 
 
+def _ipv6_loopback_available() -> bool:
+    """True when the host can actually bind an AF_INET6 loopback socket.
+
+    ``socket.has_ipv6`` only says the interpreter was *built* with IPv6;
+    containers and kernels with ``ipv6.disable=1`` still fail the bind.
+    """
+    if not socket.has_ipv6:
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET6)
+        try:
+            probe.bind(("::1", 0))
+        finally:
+            probe.close()
+    except OSError:
+        return False
+    return True
+
+
 def _worker_env() -> dict:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[2] / "src")
@@ -79,6 +99,11 @@ class TestHelpers:
         """``[::1]:7777`` must connect to host ``::1``, not ``[::1]``."""
         assert parse_address("[::1]:7777") == ("::1", 7777)
         assert parse_address("[2001:db8::5]:80") == ("2001:db8::5", 80)
+
+    def test_format_address_round_trips_through_parse(self):
+        for host, port in [("10.0.0.2", 7777), ("::1", 8888), ("2001:db8::5", 80)]:
+            assert parse_address(format_address(host, port)) == (host, port)
+        assert format_address("::1", 7777) == "[::1]:7777"
 
     def test_parse_address_rejects_bare_ipv6_and_empty_brackets(self):
         with pytest.raises(ValueError, match=r"bracket it like \[::1\]:7777"):
@@ -289,6 +314,32 @@ class TestByteIdentity:
         result = run_experiment(spec, executor=executor, results_path=dist_dir)
         assert result.complete
         assert result.executor == "distributed"
+        _assert_byte_identical(serial_dir, dist_dir)
+
+    @pytest.mark.skipif(
+        not _ipv6_loopback_available(), reason="IPv6 loopback unavailable"
+    )
+    def test_ipv6_loopback_coordinator_matches_serial(self, tmp_path):
+        """A coordinator bound to ``::1`` serves spawned workers over AF_INET6.
+
+        The workers receive a bracketed ``--connect [::1]:PORT`` (the format
+        ``parse_address`` demands back), so this exercises the whole IPv6
+        path: listener family, bracketed round-trip, and the family-aware
+        client the worker processes dial in with.
+        """
+        spec = _sleep_sweep(n_trials=4, sleep=0.0, name="dist-ipv6")
+        serial_dir = tmp_path / "serial"
+        run_experiment(spec, results_path=serial_dir)
+        dist_dir = tmp_path / "dist"
+        executor = DistributedExecutor(
+            n_workers=2,
+            host="::1",
+            lease_timeout=10.0,
+            worker_imports=[str(KERNEL_PATH)],
+        )
+        result = run_experiment(spec, executor=executor, results_path=dist_dir)
+        assert result.complete
+        assert executor.address is not None and executor.address[0] == "::1"
         _assert_byte_identical(serial_dir, dist_dir)
 
 
